@@ -1,0 +1,254 @@
+package coalloc_test
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// the DESIGN.md ablations and core micro-benchmarks. Each artifact
+// benchmark regenerates the full experiment — workload replay through the
+// online scheduler and batch baseline, metric aggregation, report rows — at
+// a reduced job count so the whole suite completes in minutes:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchtables prints the same reports at full scale.
+
+import (
+	"testing"
+
+	"coalloc"
+	"coalloc/internal/experiments"
+	"coalloc/internal/grid"
+	"coalloc/internal/sim"
+)
+
+// benchJobs is the per-workload replay size for artifact benchmarks.
+const benchJobs = 800
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Config{Jobs: benchJobs, Seed: 1})
+}
+
+func reportRows(b *testing.B, rows int) {
+	b.Helper()
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable1_WorkloadFeatures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Table1().Rows))
+	}
+}
+
+func BenchmarkFigure3_TemporalPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure3().Rows))
+	}
+}
+
+func BenchmarkFigure4a_WaitDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure4a().Rows))
+	}
+}
+
+func BenchmarkFigure4b_SizeDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure4b().Rows))
+	}
+}
+
+func BenchmarkFigure5_WaitBySpatialSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure5().Rows))
+	}
+}
+
+func BenchmarkTable2_SchedulingAttempts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Table2().Rows))
+	}
+}
+
+func BenchmarkFigure6_WaitDistributionAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure6().Rows))
+	}
+}
+
+func BenchmarkFigure7a_WaitVsRho(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure7a().Rows))
+	}
+}
+
+func BenchmarkFigure7b_OpsVsRho(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().Figure7b().Rows))
+	}
+}
+
+func BenchmarkAblationPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationPolicies().Rows))
+	}
+}
+
+func BenchmarkAblationSlotSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationSlotSize().Rows))
+	}
+}
+
+func BenchmarkAblationDeltaT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationDeltaT().Rows))
+	}
+}
+
+func BenchmarkAblationDisciplines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationDisciplines().Rows))
+	}
+}
+
+func BenchmarkAblationSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationSequential().Rows))
+	}
+}
+
+func BenchmarkAblationEarlyRelease(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationEarlyRelease().Rows))
+	}
+}
+
+func BenchmarkAblationMultisite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationMultisite().Rows))
+	}
+}
+
+func BenchmarkAblationLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationLambda().Rows))
+	}
+}
+
+func BenchmarkAblationFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationFairness().Rows))
+	}
+}
+
+func BenchmarkAblationLoadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationLoadSweep().Rows))
+	}
+}
+
+func BenchmarkAblationOpSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, len(benchRunner().AblationOpSplit().Rows))
+	}
+}
+
+// Micro-benchmarks of the core operations.
+
+// BenchmarkSubmitKTH measures end-to-end per-job cost (search + allocate +
+// calendar updates) on a 128-server system under the KTH mixture.
+func BenchmarkSubmitKTH(b *testing.B) {
+	benchmarkSubmit(b, coalloc.KTH())
+}
+
+// BenchmarkSubmitCTC is the same at 512 servers.
+func BenchmarkSubmitCTC(b *testing.B) {
+	benchmarkSubmit(b, coalloc.CTC())
+}
+
+func benchmarkSubmit(b *testing.B, m coalloc.WorkloadModel) {
+	jobs := m.Generate(b.N, 1)
+	s, err := coalloc.New(sim.DefaultCoreConfig(m.Servers), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(jobs[i]) // rejections are part of the measured workload
+	}
+	b.ReportMetric(float64(s.Ops())/float64(b.N), "treeops/job")
+}
+
+// BenchmarkRangeSearch measures the non-committing range search on a loaded
+// 512-server calendar.
+func BenchmarkRangeSearch(b *testing.B) {
+	m := coalloc.CTC()
+	jobs := m.Generate(2000, 1)
+	s, err := coalloc.New(sim.DefaultCoreConfig(m.Servers), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range jobs {
+		s.Submit(j)
+	}
+	now := s.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := coalloc.Time(i%96) * coalloc.Time(15*coalloc.Minute)
+		s.RangeSearch(now+off, now+off+coalloc.Time(coalloc.Hour))
+	}
+}
+
+// BenchmarkBatchEASY measures the EASY backfilling baseline per job.
+func BenchmarkBatchEASY(b *testing.B) {
+	m := coalloc.KTH()
+	jobs := m.Generate(b.N, 1)
+	b.ResetTimer()
+	coalloc.NewBatch(m.Servers, coalloc.EASY).Run(jobs)
+}
+
+// BenchmarkMultiSiteCoAllocate measures a full 2PC round across three
+// in-process sites.
+func BenchmarkMultiSiteCoAllocate(b *testing.B) {
+	cfg := coalloc.Config{Servers: 64, SlotSize: 15 * coalloc.Minute, Slots: 672}
+	var conns []coalloc.SiteConn
+	for _, name := range []string{"a", "b", "c"} {
+		site, err := coalloc.NewSite(name, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns = append(conns, coalloc.LocalSite{Site: site})
+	}
+	broker, err := coalloc.NewBroker(coalloc.BrokerConfig{Strategy: grid.LoadBalance{}}, conns...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := coalloc.Time(i) * coalloc.Time(coalloc.Hour)
+		if _, err := broker.CoAllocate(start, coalloc.GridRequest{
+			ID: int64(i), Start: start, Duration: coalloc.Hour, Servers: 96,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLightpathReserve measures path+wavelength co-allocation on the
+// 6-node test topology.
+func BenchmarkLightpathReserve(b *testing.B) {
+	net, err := coalloc.NewOpticalNetwork(coalloc.OpticalConfig{Wavelengths: 16, Slots: 672})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "d"}, {"b", "e"}, {"c", "f"}, {"d", "e"}, {"e", "f"}} {
+		if err := net.AddLink(l[0], l[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := coalloc.Time(i) * coalloc.Time(30*coalloc.Minute)
+		if _, err := net.Reserve(now, "a", "f", now, coalloc.Hour, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command benchtables regenerates the paper's evaluation artifacts: every
+// table and figure of §5 plus the design-choice ablations from DESIGN.md.
+//
+//	benchtables                 # all paper artifacts (Table 1–2, Fig 3–7)
+//	benchtables -exp fig4a      # one artifact
+//	benchtables -exp ablations  # the ablation studies
+//	benchtables -jobs 8000      # scale the replays up
+//
+// Output is aligned text tables: the same rows/series the paper plots, with
+// notes recording the headline observations to compare against the paper
+// (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coalloc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "paper", "experiment id, 'paper' (all §5 artifacts), 'ablations', or 'all'")
+		jobs  = flag.Int("jobs", 4000, "jobs per workload replay")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		asCSV = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtables [flags]\n\nexperiments: %s\n\nflags:\n",
+			strings.Join(experiments.IDs(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Config{Jobs: *jobs, Seed: *seed})
+	render := func(rep *experiments.Report) {
+		if *asCSV {
+			rep.RenderCSV(os.Stdout)
+			return
+		}
+		rep.Render(os.Stdout)
+	}
+	switch *exp {
+	case "paper":
+		for _, rep := range r.All() {
+			render(rep)
+		}
+	case "ablations":
+		for _, rep := range r.Ablations() {
+			render(rep)
+		}
+	case "all":
+		for _, rep := range r.All() {
+			render(rep)
+		}
+		for _, rep := range r.Ablations() {
+			render(rep)
+		}
+	default:
+		rep := r.ByID(*exp)
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (have %s)\n",
+				*exp, strings.Join(experiments.IDs(), ", "))
+			os.Exit(1)
+		}
+		render(rep)
+	}
+}

@@ -1,0 +1,39 @@
+// Command swfgen emits a calibrated synthetic workload as a Standard
+// Workload Format file, so the traces used by this repository's evaluation
+// can be replayed by any SWF-consuming tool (and vice versa: coallocsim
+// -swf replays real archive logs).
+//
+//	swfgen -workload KTH -jobs 28481 -seed 1 > kth-synthetic.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coalloc/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "KTH", "workload preset: CTC, KTH, or HPC2N")
+		jobs = flag.Int("jobs", 0, "number of jobs (0 = the original trace's count)")
+		seed = flag.Int64("seed", 1, "generation seed")
+		rho  = flag.Float64("runfrac", 0, "if in (0,1), actual run times are uniform in [runfrac,1] x estimate")
+	)
+	flag.Parse()
+
+	m, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swfgen:", err)
+		os.Exit(1)
+	}
+	m.MinRunFraction = *rho
+	js := m.Generate(*jobs, *seed)
+	header := fmt.Sprintf("synthetic %s workload (coalloc swfgen)\nMaxProcs: %d\nseed: %d\njobs: %d",
+		m.Name, m.Servers, *seed, len(js))
+	if err := workload.WriteSWF(os.Stdout, js, header); err != nil {
+		fmt.Fprintln(os.Stderr, "swfgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+package coalloc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"coalloc"
+)
+
+func newScheduler(t *testing.T, servers int) *coalloc.Scheduler {
+	t.Helper()
+	s, err := coalloc.New(coalloc.Config{
+		Servers:  servers,
+		SlotSize: 15 * coalloc.Minute,
+		Slots:    96,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFacadeSubmit(t *testing.T) {
+	s := newScheduler(t, 8)
+	alloc, err := s.Submit(coalloc.Request{ID: 1, Duration: coalloc.Hour, Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Servers) != 4 || alloc.Start != 0 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	_, err = s.Submit(coalloc.Request{ID: 2, Duration: coalloc.Hour, Servers: 9})
+	if !errors.Is(err, coalloc.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	var rej *coalloc.RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatal("rejection type lost through facade")
+	}
+}
+
+func TestFacadeRangeSearchAndClaim(t *testing.T) {
+	s := newScheduler(t, 4)
+	free := s.RangeSearch(0, coalloc.Time(coalloc.Hour))
+	if len(free) != 4 {
+		t.Fatalf("range search found %d servers", len(free))
+	}
+	// Claim a specific server from the search result (the §4.2 user-driven
+	// selection workflow).
+	pick := free[2].Server
+	alloc, err := s.Claim(pick, 0, coalloc.Time(coalloc.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Servers) != 1 || alloc.Servers[0] != pick {
+		t.Fatalf("claimed %v, want server %d", alloc.Servers, pick)
+	}
+	if _, err := s.Claim(pick, 0, coalloc.Time(coalloc.Hour)); err == nil {
+		t.Fatal("double claim accepted")
+	}
+}
+
+func TestFacadeBatch(t *testing.T) {
+	jobs := coalloc.KTH().Generate(200, 1)
+	out := coalloc.NewBatch(128, coalloc.EASY).Run(jobs)
+	if len(out) != len(jobs) {
+		t.Fatalf("outcomes %d != jobs %d", len(out), len(jobs))
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, m := range []coalloc.WorkloadModel{coalloc.CTC(), coalloc.KTH(), coalloc.HPC2N()} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs := coalloc.KTH().Generate(100, 1)
+	ar := coalloc.WithAdvanceReservations(jobs, 0.5, 3*coalloc.Hour, 2)
+	if len(ar) != len(jobs) {
+		t.Fatal("AR augmentation changed the job count")
+	}
+}
+
+func TestFacadeGrid(t *testing.T) {
+	cfg := coalloc.Config{Servers: 4, SlotSize: 15 * coalloc.Minute, Slots: 96}
+	a, err := coalloc.NewSite("a", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := coalloc.NewSite("b", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := coalloc.NewBroker(coalloc.BrokerConfig{},
+		coalloc.LocalSite{Site: a}, coalloc.LocalSite{Site: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := broker.CoAllocate(0, coalloc.GridRequest{ID: 1, Duration: coalloc.Hour, Servers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalServers() != 6 {
+		t.Fatalf("granted %d servers", alloc.TotalServers())
+	}
+}
+
+func TestFacadeOptical(t *testing.T) {
+	n, err := coalloc.NewOpticalNetwork(coalloc.OpticalConfig{Wavelengths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn, err := n.Reserve(0, "a", "c", 0, coalloc.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Hops) != 2 {
+		t.Fatalf("lightpath %+v", conn)
+	}
+}
+
+// Example demonstrates the quick-start flow from the package comment.
+func Example() {
+	s, err := coalloc.New(coalloc.Config{
+		Servers:  64,
+		SlotSize: 15 * coalloc.Minute,
+		Slots:    672,
+	}, 0)
+	if err != nil {
+		panic(err)
+	}
+	alloc, err := s.Submit(coalloc.Request{
+		ID:       1,
+		Duration: 2 * coalloc.Hour,
+		Servers:  16,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(alloc.Servers), "servers at t =", alloc.Start)
+	// Output: 16 servers at t = 0
+}

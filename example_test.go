@@ -1,0 +1,69 @@
+package coalloc_test
+
+// Godoc examples for the substrate entry points, one per application domain.
+
+import (
+	"fmt"
+
+	"coalloc"
+	"coalloc/internal/grid"
+)
+
+// ExampleScheduler_RangeSearch shows the non-committing range search plus
+// user-driven selection: search a window, pick specific servers, commit
+// exactly those with Claim.
+func ExampleScheduler_RangeSearch() {
+	s, _ := coalloc.New(coalloc.Config{Servers: 8, SlotSize: 15 * coalloc.Minute, Slots: 96}, 0)
+	window := coalloc.Time(2 * coalloc.Hour)
+
+	free := s.RangeSearch(window, window+coalloc.Time(coalloc.Hour))
+	fmt.Println("free servers:", len(free))
+
+	// Application-specific post-processing: pick the lowest-numbered two.
+	a, _ := s.Claim(free[0].Server, window, window+coalloc.Time(coalloc.Hour))
+	b, _ := s.Claim(free[1].Server, window, window+coalloc.Time(coalloc.Hour))
+	fmt.Println("claimed:", len(a.Servers)+len(b.Servers))
+	// Output:
+	// free servers: 8
+	// claimed: 2
+}
+
+// ExampleNewBroker shows an atomic cross-site co-allocation over two
+// in-process sites.
+func ExampleNewBroker() {
+	cfg := coalloc.Config{Servers: 4, SlotSize: 15 * coalloc.Minute, Slots: 96}
+	a, _ := coalloc.NewSite("site-a", cfg, 0)
+	b, _ := coalloc.NewSite("site-b", cfg, 0)
+	broker, _ := coalloc.NewBroker(coalloc.BrokerConfig{Strategy: grid.LoadBalance{}},
+		coalloc.LocalSite{Site: a}, coalloc.LocalSite{Site: b})
+
+	alloc, _ := broker.CoAllocate(0, coalloc.GridRequest{ID: 1, Duration: coalloc.Hour, Servers: 6})
+	fmt.Println("granted:", alloc.TotalServers(), "servers across", len(alloc.Shares), "sites")
+	// Output: granted: 6 servers across 2 sites
+}
+
+// ExampleScheduleWorkflow shows atomic DAG admission: a two-stage pipeline
+// where the second stage starts when the first completes.
+func ExampleScheduleWorkflow() {
+	s, _ := coalloc.New(coalloc.Config{Servers: 8, SlotSize: 15 * coalloc.Minute, Slots: 96}, 0)
+	plan, _ := coalloc.ScheduleWorkflow(s, coalloc.Workflow{
+		Name: "pipeline",
+		Stages: []coalloc.WorkflowStage{
+			{Name: "extract", Duration: coalloc.Hour, Servers: 2},
+			{Name: "transform", Duration: coalloc.Hour, Servers: 4, After: []string{"extract"}},
+		},
+	}, 0, 100)
+	fmt.Println("makespan hours:", plan.Makespan().Hours())
+	// Output: makespan hours: 2
+}
+
+// ExampleNewOpticalNetwork shows lightpath co-allocation with wavelength
+// continuity on a 3-node line.
+func ExampleNewOpticalNetwork() {
+	n, _ := coalloc.NewOpticalNetwork(coalloc.OpticalConfig{Wavelengths: 4, Slots: 96})
+	n.AddLink("a", "b")
+	n.AddLink("b", "c")
+	conn, _ := n.Reserve(0, "a", "c", 0, coalloc.Hour, 2)
+	fmt.Println("hops:", len(conn.Hops), "wavelengths:", conn.Wavelengths())
+	// Output: hops: 2 wavelengths: [0]
+}

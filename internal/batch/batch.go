@@ -1,0 +1,299 @@
+// Package batch implements the batch-scheduling baselines the paper
+// evaluates against (§1, §5): queue-based schedulers in the style of
+// LSF/Maui/PBS where jobs wait for processors to free, optionally leaping
+// ahead via backfilling. Three disciplines are provided:
+//
+//   - FCFS: strict first-come-first-served, no backfilling.
+//   - EASY: aggressive backfilling — only the queue head holds a
+//     reservation; later jobs may start early if they do not delay it
+//     (Lifka, ANL/IBM SP).
+//   - Conservative: every job receives a reservation at submission; jobs
+//     may only move into holes that delay nobody (Srinivasan et al.).
+//
+// Processors are fungible in the batch model (jobs need a count, not
+// identities), which is exactly how these schedulers plan. Advance
+// reservations are supported the only way a queue-based scheduler can: a
+// request with s_r > q_r is held and enters the queue at s_r.
+package batch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// Discipline selects the queueing policy.
+type Discipline int
+
+// Available disciplines.
+const (
+	FCFS Discipline = iota
+	EASY
+	Conservative
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "fcfs"
+	case EASY:
+		return "easy"
+	case Conservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// ParseDiscipline converts a name to a Discipline.
+func ParseDiscipline(name string) (Discipline, error) {
+	switch name {
+	case "fcfs":
+		return FCFS, nil
+	case "easy":
+		return EASY, nil
+	case "conservative":
+		return Conservative, nil
+	}
+	return 0, fmt.Errorf("batch: unknown discipline %q", name)
+}
+
+// Outcome reports how one job fared under a batch discipline.
+type Outcome struct {
+	Job      job.Request
+	Start    period.Time
+	Wait     period.Duration // Start - Job.Start
+	Rejected bool            // true only when the job is wider than the machine
+}
+
+// TemporalPenalty returns W_r / l_r for the outcome.
+func (o Outcome) TemporalPenalty() float64 {
+	if o.Job.Duration == 0 {
+		return 0
+	}
+	return float64(o.Wait) / float64(o.Job.Duration)
+}
+
+// Scheduler replays a workload under one batch discipline.
+type Scheduler struct {
+	capacity int
+	disc     Discipline
+	ops      uint64
+}
+
+// New returns a batch scheduler for a machine with `capacity` processors.
+func New(capacity int, disc Discipline) *Scheduler {
+	return &Scheduler{capacity: capacity, disc: disc}
+}
+
+// Ops returns the cumulative elementary operations (queue and profile scans)
+// performed, for complexity comparisons against the online scheduler.
+func (s *Scheduler) Ops() uint64 { return s.ops }
+
+// Run simulates the full workload and returns one outcome per job, in input
+// order. Jobs with RunTime in (0, Duration) complete early and free their
+// processors at the actual end, while backfill planning still uses the
+// estimate — the standard inexact-estimate semantics of production
+// backfilling. The conservative discipline plans with estimates only (its
+// reservation-based guarantee is defined over estimates).
+func (s *Scheduler) Run(jobs []job.Request) []Outcome {
+	switch s.disc {
+	case Conservative:
+		return s.runConservative(jobs)
+	default:
+		return s.runQueued(jobs)
+	}
+}
+
+// runConservative plans every job at submission against a capacity profile:
+// the earliest window with enough free processors is reserved immediately.
+// With run times equal to estimates the plan is exact, so no event loop is
+// needed.
+func (s *Scheduler) runConservative(jobs []job.Request) []Outcome {
+	order := submissionOrder(jobs)
+	prof := newProfile(s.capacity, &s.ops)
+	out := make([]Outcome, len(jobs))
+	for _, idx := range order {
+		r := jobs[idx]
+		if r.Servers > s.capacity {
+			out[idx] = Outcome{Job: r, Rejected: true}
+			continue
+		}
+		start := prof.findSlot(r.Start, r.Duration, r.Servers)
+		prof.reserve(start, r.Duration, r.Servers)
+		prof.trimBefore(r.Submit)
+		out[idx] = Outcome{Job: r, Start: start, Wait: period.Duration(start - r.Start)}
+	}
+	return out
+}
+
+// queued is a job waiting in the run queue.
+type queued struct {
+	idx      int // position in the input slice
+	r        job.Request
+	eligible period.Time
+}
+
+// event drives the FCFS/EASY event loop.
+type event struct {
+	time period.Time
+	kind int // 0 = completion (processed first), 1 = job becomes eligible
+	seq  int
+	q    *queued
+	n    int // processors freed by a completion
+	end  period.Time
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// running records one executing job for shadow-time computation.
+type running struct {
+	end period.Time
+	n   int
+}
+
+func (s *Scheduler) runQueued(jobs []job.Request) []Outcome {
+	out := make([]Outcome, len(jobs))
+	var events eventHeap
+	seq := 0
+	for _, idx := range submissionOrder(jobs) {
+		r := jobs[idx]
+		if r.Servers > s.capacity {
+			out[idx] = Outcome{Job: r, Rejected: true}
+			continue
+		}
+		heap.Push(&events, event{time: r.Start, kind: 1, seq: seq, q: &queued{idx: idx, r: r, eligible: r.Start}})
+		seq++
+	}
+
+	free := s.capacity
+	var queue []*queued
+	var run []running
+
+	start := func(q *queued, now period.Time) {
+		free -= q.r.Servers
+		estEnd := now.Add(q.r.Duration) // what the scheduler believes (shadow computation)
+		actualEnd := estEnd
+		if q.r.RunTime > 0 && q.r.RunTime < q.r.Duration {
+			actualEnd = now.Add(q.r.RunTime) // when the processors really free
+		}
+		run = append(run, running{end: estEnd, n: q.r.Servers})
+		heap.Push(&events, event{time: actualEnd, kind: 0, seq: seq, n: q.r.Servers, end: estEnd})
+		seq++
+		out[q.idx] = Outcome{Job: q.r, Start: now, Wait: period.Duration(now - q.r.Start)}
+	}
+
+	dispatch := func(now period.Time) {
+		if s.disc == FCFS {
+			for len(queue) > 0 && queue[0].r.Servers <= free {
+				s.ops++
+				start(queue[0], now)
+				queue = queue[1:]
+			}
+			return
+		}
+		// EASY backfilling.
+		for {
+			// Start the head (and successive heads) while they fit.
+			for len(queue) > 0 && queue[0].r.Servers <= free {
+				s.ops++
+				start(queue[0], now)
+				queue = queue[1:]
+			}
+			if len(queue) == 0 {
+				return
+			}
+			// Head blocked: compute its shadow time and the extra
+			// processors not needed by the head at the shadow.
+			head := queue[0]
+			shadow, extra := s.shadow(head.r.Servers, free, run)
+			started := false
+			for i := 1; i < len(queue); i++ {
+				s.ops++
+				cand := queue[i]
+				if cand.r.Servers > free {
+					continue
+				}
+				if now.Add(cand.r.Duration) <= shadow || cand.r.Servers <= extra {
+					start(cand, now)
+					queue = append(queue[:i], queue[i+1:]...)
+					started = true
+					break // re-derive shadow/extra after each backfill
+				}
+			}
+			if !started {
+				return
+			}
+		}
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		now := ev.time
+		switch ev.kind {
+		case 0:
+			free += ev.n
+			for i := 0; i < len(run); i++ {
+				if run[i].end == ev.end && run[i].n == ev.n {
+					run = append(run[:i], run[i+1:]...)
+					break
+				}
+			}
+		case 1:
+			queue = append(queue, ev.q)
+		}
+		// Coalesce same-time events before dispatching so completions at
+		// the same instant free processors for arrivals.
+		if events.Len() > 0 && events[0].time == now {
+			continue
+		}
+		dispatch(now)
+	}
+	return out
+}
+
+// shadow computes the earliest time the blocked head job (needing `need`
+// processors, with `free` currently idle) can start, given the running jobs,
+// plus the number of processors that will still be spare at that time.
+func (s *Scheduler) shadow(need, free int, run []running) (period.Time, int) {
+	byEnd := append([]running(nil), run...)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].end < byEnd[j].end })
+	avail := free
+	for _, r := range byEnd {
+		s.ops++
+		avail += r.n
+		if avail >= need {
+			return r.end, avail - need
+		}
+	}
+	// Unreachable when need <= capacity: every processor frees eventually.
+	panic("batch: blocked head cannot ever start")
+}
+
+// submissionOrder returns job indices sorted by (Submit, input order).
+func submissionOrder(jobs []job.Request) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Submit < jobs[order[b]].Submit })
+	return order
+}

@@ -1,0 +1,114 @@
+package batch
+
+import (
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func TestEmptyWorkload(t *testing.T) {
+	for _, disc := range []Discipline{FCFS, EASY, Conservative} {
+		if out := New(4, disc).Run(nil); len(out) != 0 {
+			t.Fatalf("%v: outcomes for empty workload", disc)
+		}
+	}
+}
+
+func TestSimultaneousArrivalsKeepSubmissionOrder(t *testing.T) {
+	// Three width-1 jobs submitted at the same instant on a 1-proc machine:
+	// they must run in input order under every discipline.
+	jobs := []job.Request{
+		mkJob(1, 100, 100, 10, 1),
+		mkJob(2, 100, 100, 10, 1),
+		mkJob(3, 100, 100, 10, 1),
+	}
+	for _, disc := range []Discipline{FCFS, EASY, Conservative} {
+		out := outcomesByID(New(1, disc).Run(jobs))
+		if out[1].Start != 100 || out[2].Start != 110 || out[3].Start != 120 {
+			t.Fatalf("%v: starts %d, %d, %d", disc, out[1].Start, out[2].Start, out[3].Start)
+		}
+	}
+}
+
+func TestCompletionFreesAtSameInstant(t *testing.T) {
+	// Job 2 arrives exactly when job 1 completes: it must start immediately
+	// (completions are processed before arrivals at the same time).
+	jobs := []job.Request{
+		mkJob(1, 0, 0, 10, 2),
+		mkJob(2, 10, 10, 5, 2),
+	}
+	for _, disc := range []Discipline{FCFS, EASY, Conservative} {
+		out := outcomesByID(New(2, disc).Run(jobs))
+		if out[2].Start != 10 || out[2].Wait != 0 {
+			t.Fatalf("%v: job2 start=%d wait=%d", disc, out[2].Start, out[2].Wait)
+		}
+	}
+}
+
+func TestConservativeNeverDelaysEarlierJob(t *testing.T) {
+	// Conservative backfilling gives every job a reservation at submission;
+	// admitting a later job must never move an earlier job's start.
+	base := []job.Request{
+		mkJob(1, 0, 0, 10, 4),
+		mkJob(2, 1, 1, 20, 2),
+		mkJob(3, 2, 2, 5, 2),
+	}
+	first := outcomesByID(New(4, Conservative).Run(base))
+
+	extended := append(append([]job.Request(nil), base...),
+		mkJob(4, 3, 3, 30, 4),
+		mkJob(5, 4, 4, 2, 1),
+	)
+	second := outcomesByID(New(4, Conservative).Run(extended))
+	for _, id := range []int64{1, 2, 3} {
+		if second[id].Start != first[id].Start {
+			t.Fatalf("job %d moved from %d to %d after later submissions", id, first[id].Start, second[id].Start)
+		}
+	}
+}
+
+func TestEASYHeadNeverDelayedByBackfill(t *testing.T) {
+	// Construct a stream where many small jobs could starve a wide head
+	// under naive backfilling. The head's start must equal its shadow time
+	// computed without any backfilled job.
+	jobs := []job.Request{
+		mkJob(1, 0, 0, 100, 3), // runs [0,100) on 3 of 4
+		mkJob(2, 1, 1, 50, 4),  // head: needs whole machine -> shadow 100
+	}
+	// A wave of 1-proc jobs that fit beside job 1 and end before t=100.
+	for i := int64(0); i < 20; i++ {
+		jobs = append(jobs, mkJob(3+i, 2+period.Time(i), 2+period.Time(i), 90, 1))
+	}
+	out := outcomesByID(New(4, EASY).Run(jobs))
+	if out[2].Start != 100 {
+		t.Fatalf("head start = %d, want exactly its shadow 100", out[2].Start)
+	}
+	// At least one small job backfilled before the head.
+	backfilled := false
+	for i := int64(3); i < 23; i++ {
+		if out[i].Start < 100 {
+			backfilled = true
+			break
+		}
+	}
+	if !backfilled {
+		t.Fatal("no job backfilled at all")
+	}
+}
+
+func TestProfileTrimKeepsAnswersIntact(t *testing.T) {
+	p := newProfile(4, nil)
+	p.reserve(0, 10, 2)
+	p.reserve(50, 10, 4)
+	p.trimBefore(30)
+	if err := p.check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.findSlot(30, 10, 3); got != 30 {
+		t.Fatalf("findSlot after trim = %d, want 30", got)
+	}
+	if got := p.findSlot(45, 10, 3); got != 60 {
+		t.Fatalf("findSlot across surviving reservation = %d, want 60", got)
+	}
+}

@@ -1,0 +1,95 @@
+package batch
+
+import (
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func TestEarlyCompletionFreesProcessors(t *testing.T) {
+	// Job 1 is estimated at 10 but runs 3; job 2 must start at 3 under the
+	// event-driven disciplines.
+	jobs := []job.Request{
+		{ID: 1, Submit: 0, Start: 0, Duration: 10, Servers: 1, RunTime: 3},
+		{ID: 2, Submit: 0, Start: 0, Duration: 5, Servers: 1},
+	}
+	for _, disc := range []Discipline{FCFS, EASY} {
+		out := outcomesByID(New(1, disc).Run(jobs))
+		if out[2].Start != 3 {
+			t.Fatalf("%v: job 2 start = %d, want 3 (early completion ignored)", disc, out[2].Start)
+		}
+	}
+	// Conservative plans with estimates only.
+	out := outcomesByID(New(1, Conservative).Run(jobs))
+	if out[2].Start != 10 {
+		t.Fatalf("conservative: job 2 start = %d, want the estimate-based 10", out[2].Start)
+	}
+}
+
+func TestEASYShadowStillUsesEstimates(t *testing.T) {
+	// Machine of 2. Job 1 holds both procs, estimated 100 but runs 10.
+	// Job 2 (head, width 2, est 50) waits. Job 3 (width 1, est 95) could
+	// backfill ONLY if it finished by the shadow — judged against job 1's
+	// ESTIMATED end (100), so 95 <= 100-2 holds at t=2 and it may start…
+	// but it must not: free procs are 0 at t=2. At t=10 job 1 actually
+	// completes; job 2 (head) starts immediately.
+	jobs := []job.Request{
+		{ID: 1, Submit: 0, Start: 0, Duration: 100, Servers: 2, RunTime: 10},
+		{ID: 2, Submit: 1, Start: 1, Duration: 50, Servers: 2},
+		{ID: 3, Submit: 2, Start: 2, Duration: 95, Servers: 1},
+	}
+	out := outcomesByID(New(2, EASY).Run(jobs))
+	if out[2].Start != 10 {
+		t.Fatalf("head started at %d, want 10 (actual completion)", out[2].Start)
+	}
+	// Job 3 runs after the head's window (it would delay the head at t=10).
+	if out[3].Start < out[2].Start {
+		t.Fatalf("backfill job started at %d before the head at %d", out[3].Start, out[2].Start)
+	}
+}
+
+func TestMixedRunTimesKeepInvariants(t *testing.T) {
+	m := []job.Request{}
+	for i := 0; i < 200; i++ {
+		dur := period.Duration(10 + (i*37)%200)
+		run := dur
+		if i%3 == 0 {
+			run = dur / 2
+		}
+		m = append(m, job.Request{
+			ID: int64(i), Submit: period.Time(i), Start: period.Time(i),
+			Duration: dur, Servers: 1 + i%8, RunTime: run,
+		})
+	}
+	for _, disc := range []Discipline{FCFS, EASY} {
+		out := New(8, disc).Run(m)
+		// Over-subscription check against ACTUAL occupancy.
+		type edge struct {
+			t period.Time
+			d int
+		}
+		var edges []edge
+		for _, o := range out {
+			run := o.Job.Duration
+			if o.Job.RunTime > 0 && o.Job.RunTime < run {
+				run = o.Job.RunTime
+			}
+			edges = append(edges, edge{o.Start, o.Job.Servers}, edge{o.Start.Add(run), -o.Job.Servers})
+		}
+		for i := 0; i < len(edges); i++ {
+			for j := i + 1; j < len(edges); j++ {
+				if edges[j].t < edges[i].t || (edges[j].t == edges[i].t && edges[j].d < edges[i].d) {
+					edges[i], edges[j] = edges[j], edges[i]
+				}
+			}
+		}
+		used := 0
+		for _, e := range edges {
+			used += e.d
+			if used > 8 {
+				t.Fatalf("%v: %d processors in use with early completions", disc, used)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package batch
+
+import (
+	"fmt"
+	"sort"
+
+	"coalloc/internal/period"
+)
+
+// profile tracks the number of free processors over time as a step function.
+// It is the planning structure classic batch schedulers use to place
+// reservations: findSlot scans for the earliest window with enough capacity,
+// reserve commits it.
+type profile struct {
+	capacity int
+	steps    []step  // sorted by time; steps[i].free holds on [steps[i].time, steps[i+1].time)
+	ops      *uint64 // elementary-operation counter (profile entries scanned)
+}
+
+type step struct {
+	time period.Time
+	free int
+}
+
+// newProfile returns a profile with `capacity` processors free from the
+// beginning of time.
+func newProfile(capacity int, ops *uint64) *profile {
+	return &profile{
+		capacity: capacity,
+		steps:    []step{{time: 0, free: capacity}},
+		ops:      ops,
+	}
+}
+
+func (p *profile) visit(n uint64) {
+	if p.ops != nil {
+		*p.ops += n
+	}
+}
+
+// freeAt returns the free capacity at instant t.
+func (p *profile) freeAt(t period.Time) int {
+	i := sort.Search(len(p.steps), func(k int) bool { return p.steps[k].time > t })
+	p.visit(4)
+	if i == 0 {
+		return p.capacity
+	}
+	return p.steps[i-1].free
+}
+
+// findSlot returns the earliest time t >= after such that at least `need`
+// processors are free throughout [t, t+dur). This is the list-scheduling
+// scan the paper contrasts with its tree search: its cost is linear in the
+// number of capacity steps.
+func (p *profile) findSlot(after period.Time, dur period.Duration, need int) period.Time {
+	if need > p.capacity {
+		panic(fmt.Sprintf("batch: need %d exceeds capacity %d", need, p.capacity))
+	}
+	i := sort.Search(len(p.steps), func(k int) bool { return p.steps[k].time > after }) - 1
+	p.visit(4)
+	if i < 0 {
+		i = 0
+	}
+	candidate := after
+	if p.steps[i].time > candidate {
+		candidate = p.steps[i].time
+	}
+	for {
+		end := candidate.Add(dur)
+		ok := true
+		for j := i; j < len(p.steps); j++ {
+			p.visit(1)
+			st := p.steps[j]
+			if st.time >= end {
+				break // window fully checked
+			}
+			if j+1 < len(p.steps) && p.steps[j+1].time <= candidate {
+				continue // step lies entirely before the candidate window
+			}
+			if st.free < need {
+				if j+1 >= len(p.steps) {
+					// The trailing step always has full capacity (invariant
+					// checked by tests), so congestion here is impossible.
+					panic("batch: congestion in trailing profile step")
+				}
+				candidate = p.steps[j+1].time
+				i = j + 1
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return candidate
+		}
+	}
+}
+
+// reserve subtracts `need` processors over [start, start+dur). The window
+// must have been validated by findSlot; over-subscription panics, as it
+// indicates a scheduler bug rather than a recoverable condition.
+func (p *profile) reserve(start period.Time, dur period.Duration, need int) {
+	end := start.Add(dur)
+	p.splitAt(start)
+	p.splitAt(end)
+	for i := range p.steps {
+		p.visit(1)
+		if p.steps[i].time >= end {
+			break
+		}
+		if p.steps[i].time >= start {
+			p.steps[i].free -= need
+			if p.steps[i].free < 0 {
+				panic(fmt.Sprintf("batch: over-subscribed profile at %d", p.steps[i].time))
+			}
+		}
+	}
+}
+
+// splitAt ensures a step boundary exists exactly at t.
+func (p *profile) splitAt(t period.Time) {
+	i := sort.Search(len(p.steps), func(k int) bool { return p.steps[k].time >= t })
+	p.visit(4)
+	if i < len(p.steps) && p.steps[i].time == t {
+		return
+	}
+	free := p.capacity
+	if i > 0 {
+		free = p.steps[i-1].free
+	}
+	p.steps = append(p.steps, step{})
+	copy(p.steps[i+1:], p.steps[i:])
+	p.steps[i] = step{time: t, free: free}
+}
+
+// trimBefore drops steps entirely in the past to keep scans short; t must
+// not precede any future reservation boundary the caller still needs.
+func (p *profile) trimBefore(t period.Time) {
+	i := sort.Search(len(p.steps), func(k int) bool { return p.steps[k].time > t })
+	if i > 1 {
+		p.steps = p.steps[i-1:]
+	}
+}
+
+// check validates the structural invariants (tests): sorted steps, free
+// within [0, capacity], and a trailing step restoring full capacity.
+func (p *profile) check() error {
+	if len(p.steps) == 0 {
+		return fmt.Errorf("batch: empty profile")
+	}
+	for i := range p.steps {
+		if i > 0 && p.steps[i].time <= p.steps[i-1].time {
+			return fmt.Errorf("batch: profile steps out of order at %d", i)
+		}
+		if p.steps[i].free < 0 || p.steps[i].free > p.capacity {
+			return fmt.Errorf("batch: free %d out of range at step %d", p.steps[i].free, i)
+		}
+	}
+	if last := p.steps[len(p.steps)-1]; last.free != p.capacity {
+		return fmt.Errorf("batch: trailing step has free %d, want %d", last.free, p.capacity)
+	}
+	return nil
+}

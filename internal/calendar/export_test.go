@@ -1,0 +1,4 @@
+package calendar
+
+// CheckConsistency exposes the slot/busy-list consistency validator to tests.
+func (c *Calendar) CheckConsistency() error { return c.checkConsistency() }

@@ -1,0 +1,113 @@
+package calendar
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"coalloc/internal/dtree"
+	"coalloc/internal/period"
+)
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// SnapInterval mirrors a reservation with exported fields for gob.
+type SnapInterval struct {
+	Start, End period.Time
+}
+
+// SnapshotData is the serialized form of a calendar: configuration, clock,
+// and the per-server reservation lists. The slot trees and the tail index
+// are pure indexes over that ground truth, so they are rebuilt on restore
+// rather than serialized — the snapshot stays small and the restore path
+// reuses the same construction code the moving horizon exercises.
+type SnapshotData struct {
+	Version int
+	Config  Config
+	Now     period.Time
+	Genesis period.Time
+	Busy    [][]SnapInterval
+	Ops     uint64
+}
+
+// SnapshotData captures the calendar's persistent state.
+func (c *Calendar) SnapshotData() SnapshotData {
+	s := SnapshotData{
+		Version: snapshotVersion,
+		Config:  c.cfg,
+		Now:     c.now,
+		Genesis: c.genesis,
+		Busy:    make([][]SnapInterval, len(c.busy)),
+		Ops:     c.ops,
+	}
+	for i := range c.busy {
+		ivs := make([]SnapInterval, len(c.busy[i].iv))
+		for j, iv := range c.busy[i].iv {
+			ivs[j] = SnapInterval{Start: iv.start, End: iv.end}
+		}
+		s.Busy[i] = ivs
+	}
+	return s
+}
+
+// Snapshot serializes the calendar so it can be restored after a restart.
+func (c *Calendar) Snapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c.SnapshotData())
+}
+
+// Restore reconstructs a calendar from a Snapshot stream.
+func Restore(r io.Reader) (*Calendar, error) {
+	var s SnapshotData
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("calendar: restore: %w", err)
+	}
+	return FromSnapshotData(s)
+}
+
+// FromSnapshotData rebuilds a calendar (including every slot tree and the
+// tail index) from captured state.
+func FromSnapshotData(s SnapshotData) (*Calendar, error) {
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("calendar: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if err := s.Config.validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Busy) != s.Config.Servers {
+		return nil, fmt.Errorf("calendar: snapshot has %d busy lists for %d servers", len(s.Busy), s.Config.Servers)
+	}
+	c := &Calendar{
+		cfg:     s.Config,
+		ops:     s.Ops,
+		now:     s.Now,
+		genesis: s.Genesis,
+		base:    int64(s.Now) / int64(s.Config.SlotSize),
+		slots:   make([]*dtree.Tree, s.Config.Slots),
+		busy:    make([]busyList, s.Config.Servers),
+	}
+	for i, ivs := range s.Busy {
+		list := make([]interval, len(ivs))
+		for j, iv := range ivs {
+			list[j] = interval{start: iv.Start, end: iv.End}
+		}
+		c.busy[i].iv = list
+		if err := c.busy[i].check(); err != nil {
+			return nil, fmt.Errorf("calendar: restore server %d: %w", i, err)
+		}
+	}
+	// Rebuild the indexes: tails from the last reservation of each server,
+	// slot trees from the reservation-gap structure.
+	c.tails = newTailIndex(s.Config.Servers, s.Genesis, &c.ops)
+	for srv := range c.busy {
+		if last, ok := c.busy[srv].last(); ok {
+			c.tails.update(srv, s.Genesis, last.end)
+		}
+	}
+	q := int64(s.Config.Slots)
+	for abs := c.base; abs < c.base+q; abs++ {
+		c.slots[abs%q] = dtree.New(&c.ops)
+		c.fillSlot(abs)
+	}
+	return c, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func TestClaimSpecificServer(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	a, err := s.Claim(2, 100, 100+period.Time(period.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Servers) != 1 || a.Servers[0] != 2 {
+		t.Fatalf("claimed %v", a.Servers)
+	}
+	if s.IdleAt(2, 100) {
+		t.Fatal("server idle after claim")
+	}
+	// The other servers are untouched.
+	for _, srv := range []int{0, 1, 3} {
+		if !s.IdleAt(srv, 100) {
+			t.Fatalf("server %d busy after foreign claim", srv)
+		}
+	}
+	// Claiming the same window again fails.
+	if _, err := s.Claim(2, 100, 200); err == nil {
+		t.Fatal("overlapping claim accepted")
+	}
+	// The claim can be released like any allocation.
+	if err := s.Release(a, a.Start); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IdleAt(2, 100) {
+		t.Fatal("server busy after releasing claim")
+	}
+}
+
+func TestClaimValidation(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	if _, err := s.Claim(0, 0, s.HorizonEnd()+1); err == nil {
+		t.Fatal("claim past horizon accepted")
+	}
+	if _, err := s.Claim(7, 0, 100); err == nil {
+		t.Fatal("claim on unknown server accepted")
+	}
+	s.Advance(period.Time(period.Hour))
+	if _, err := s.Claim(0, 0, 100); err == nil {
+		t.Fatal("claim in the past accepted")
+	}
+}
+
+func TestClaimMatchesRangeSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := mustNew(t, testConfig(8))
+	// Fragment the calendar.
+	for i := 0; i < 20; i++ {
+		st := period.Time(rng.Int63n(int64(10 * period.Hour)))
+		s.Submit(job.Request{ID: int64(i), Start: st, Duration: period.Hour, Servers: 1 + rng.Intn(3)})
+	}
+	// Every period returned by a range search must be claimable, and after
+	// claiming them all, none must be claimable again.
+	start := period.Time(4 * period.Hour)
+	end := start + period.Time(period.Hour)
+	free := s.RangeSearch(start, end)
+	for _, p := range free {
+		if _, err := s.Claim(p.Server, start, end); err != nil {
+			t.Fatalf("range-search result %+v not claimable: %v", p, err)
+		}
+	}
+	if left := s.RangeSearch(start, end); len(left) != 0 {
+		t.Fatalf("servers still free after claiming all: %v", left)
+	}
+}
+
+// TestQuickSubmitInvariants: property — for arbitrary request streams, every
+// accepted allocation respects its request and the ground-truth busy lists
+// agree with the grant.
+func TestQuickSubmitInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(testConfig(6), 0)
+		if err != nil {
+			return false
+		}
+		now := period.Time(0)
+		for i := 0; i < 60; i++ {
+			now += period.Time(rng.Int63n(int64(period.Hour)))
+			r := job.Request{
+				ID:       int64(i),
+				Submit:   now,
+				Start:    now + period.Time(rng.Int63n(int64(2*period.Hour))),
+				Duration: period.Duration(1 + rng.Int63n(int64(3*period.Hour))),
+				Servers:  1 + rng.Intn(6),
+			}
+			a, err := s.Submit(r)
+			if err != nil {
+				continue
+			}
+			if a.Start < r.Start || len(a.Servers) != r.Servers {
+				return false
+			}
+			if a.End != a.Start.Add(r.Duration) {
+				return false
+			}
+			if a.Wait != period.Duration(a.Start-r.Start) {
+				return false
+			}
+			// Ground truth: every granted server is busy for the window.
+			for _, srv := range a.Servers {
+				if s.BusyBetween(srv, a.Start, a.End) != r.Duration {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceIdempotentAndMonotone(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	s.Advance(1000)
+	s.Advance(1000) // no-op
+	s.Advance(500)  // backwards: ignored, not panic (core guards)
+	if s.Now() != 1000 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+}
+
+func TestHorizonMovesWithClock(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	h0 := s.HorizonEnd()
+	s.Advance(period.Time(6 * period.Hour))
+	if s.HorizonEnd() <= h0 {
+		t.Fatal("horizon did not advance")
+	}
+	// A job that was beyond the horizon at t=0 fits after advancing.
+	r := job.Request{ID: 1, Submit: period.Time(6 * period.Hour), Start: period.Time(6 * period.Hour), Duration: 23 * period.Hour, Servers: 1}
+	if _, err := s.Submit(r); err != nil {
+		t.Fatalf("job within moved horizon rejected: %v", err)
+	}
+}

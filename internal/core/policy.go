@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"coalloc/internal/period"
+)
+
+// SelectionPolicy chooses which of the feasible idle periods found by the
+// range search actually receive the job. The paper (§4.2) allocates the
+// first n_r feasible periods in retrieval order; §4.2's range-search
+// discussion explicitly invites application-specific post-processing, which
+// the other policies model. Ablation benchmarks compare them.
+type SelectionPolicy interface {
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+	// NeedsAll reports whether Select wants every feasible period rather
+	// than the first `want` in retrieval order. Policies that rank periods
+	// (best/worst fit) need the full set; the paper's policy does not, which
+	// is what lets the search stop early.
+	NeedsAll() bool
+	// Select returns exactly want periods from feasible (len(feasible) >=
+	// want) for a job occupying [start, end). It must not modify feasible.
+	Select(feasible []period.Period, start, end period.Time, want int) []period.Period
+}
+
+// PaperOrder allocates the first want feasible periods in the retrieval
+// order of the two-phase search — the behaviour evaluated in the paper.
+type PaperOrder struct{}
+
+// Name implements SelectionPolicy.
+func (PaperOrder) Name() string { return "paper" }
+
+// NeedsAll implements SelectionPolicy.
+func (PaperOrder) NeedsAll() bool { return false }
+
+// Select implements SelectionPolicy.
+func (PaperOrder) Select(feasible []period.Period, _, _ period.Time, want int) []period.Period {
+	return feasible[:want]
+}
+
+// tailWaste is the right-side waste charged to an unbounded (trailing) idle
+// period. Charging a large constant makes best-fit prefer tight finite gaps
+// and keep the open tail of the schedule — the system's largest contiguous
+// capacity — free for wide future jobs.
+const tailWaste = period.Duration(1 << 40)
+
+// waste returns the idle time an allocation [start, end) would strand inside
+// p (smaller is a tighter fit).
+func waste(p period.Period, start, end period.Time) period.Duration {
+	w := period.Duration(start - p.Start)
+	if p.Unbounded() {
+		return w + tailWaste
+	}
+	return w + period.Duration(p.End-end)
+}
+
+// BestFit selects the periods whose remaining fragments are smallest,
+// reducing fragmentation at the cost of examining every feasible period.
+type BestFit struct{}
+
+// Name implements SelectionPolicy.
+func (BestFit) Name() string { return "bestfit" }
+
+// NeedsAll implements SelectionPolicy.
+func (BestFit) NeedsAll() bool { return true }
+
+// Select implements SelectionPolicy.
+func (BestFit) Select(feasible []period.Period, start, end period.Time, want int) []period.Period {
+	return rankByWaste(feasible, start, end, want, false)
+}
+
+// WorstFit selects the loosest periods, keeping tight gaps free for jobs
+// that fit them exactly — the classic anti-fragmentation counter-strategy.
+type WorstFit struct{}
+
+// Name implements SelectionPolicy.
+func (WorstFit) Name() string { return "worstfit" }
+
+// NeedsAll implements SelectionPolicy.
+func (WorstFit) NeedsAll() bool { return true }
+
+// Select implements SelectionPolicy.
+func (WorstFit) Select(feasible []period.Period, start, end period.Time, want int) []period.Period {
+	return rankByWaste(feasible, start, end, want, true)
+}
+
+func rankByWaste(feasible []period.Period, start, end period.Time, want int, descending bool) []period.Period {
+	ranked := append([]period.Period(nil), feasible...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		wi, wj := waste(ranked[i], start, end), waste(ranked[j], start, end)
+		if descending {
+			return wi > wj
+		}
+		return wi < wj
+	})
+	return ranked[:want]
+}
+
+// RandomFit selects uniformly at random among the feasible periods; a
+// baseline that spreads load without systematic packing.
+type RandomFit struct {
+	Rng *rand.Rand
+}
+
+// Name implements SelectionPolicy.
+func (*RandomFit) Name() string { return "random" }
+
+// NeedsAll implements SelectionPolicy.
+func (*RandomFit) NeedsAll() bool { return true }
+
+// Select implements SelectionPolicy.
+func (r *RandomFit) Select(feasible []period.Period, _, _ period.Time, want int) []period.Period {
+	idx := r.Rng.Perm(len(feasible))[:want]
+	out := make([]period.Period, 0, want)
+	for _, i := range idx {
+		out = append(out, feasible[i])
+	}
+	return out
+}
+
+// PolicyByName returns the selection policy registered under name; rng is
+// used only by policies that need randomness. Unknown names return nil.
+func PolicyByName(name string, rng *rand.Rand) SelectionPolicy {
+	switch name {
+	case "", "paper":
+		return PaperOrder{}
+	case "bestfit":
+		return BestFit{}
+	case "worstfit":
+		return WorstFit{}
+	case "random":
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		return &RandomFit{Rng: rng}
+	}
+	return nil
+}

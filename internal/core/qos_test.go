@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// TestPerRequestDeltaT verifies the §4.2 aggressiveness knob: a request
+// carrying a small Δt override finds a finer-grained start time than the
+// scheduler default.
+func TestPerRequestDeltaT(t *testing.T) {
+	mk := func() *Scheduler {
+		s := mustNew(t, testConfig(1)) // Δt defaults to τ = 15 min
+		// Block the single server for the first 20 minutes.
+		if _, err := s.Submit(job.Request{ID: 1, Duration: 20 * period.Minute, Servers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Default Δt = 15 min probes 0, 15, 30 → starts at 30 min.
+	s := mk()
+	a, err := s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != period.Time(30*period.Minute) {
+		t.Fatalf("default Δt start = %d, want 30 min", a.Start)
+	}
+
+	// Aggressive Δt = 5 min probes 0, 5, 10, 15, 20 → starts at 20 min.
+	s = mk()
+	a, err = s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 1, DeltaT: 5 * period.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != period.Time(20*period.Minute) {
+		t.Fatalf("aggressive Δt start = %d, want 20 min", a.Start)
+	}
+	if a.Attempts != 5 {
+		t.Fatalf("aggressive Δt attempts = %d, want 5", a.Attempts)
+	}
+}
+
+// TestPerRequestMaxAttempts verifies a request can bound its own patience.
+func TestPerRequestMaxAttempts(t *testing.T) {
+	s := mustNew(t, testConfig(1))
+	if _, err := s.Submit(job.Request{ID: 1, Duration: 10 * period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 1, MaxAttempts: 2})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Attempts != 2 {
+		t.Fatalf("err = %v, want rejection after exactly 2 attempts", err)
+	}
+	// Without the override the same request succeeds eventually.
+	a, err := s.Submit(job.Request{ID: 3, Duration: period.Hour, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != period.Time(10*period.Hour) {
+		t.Fatalf("patient request start = %d", a.Start)
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	s := mustNew(t, testConfig(1))
+	if _, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 1, DeltaT: -1}); err == nil {
+		t.Fatal("negative DeltaT accepted")
+	}
+	if _, err := s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 1, MaxAttempts: -1}); err == nil {
+		t.Fatal("negative MaxAttempts accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// SafeScheduler wraps a Scheduler for concurrent use. The underlying
+// scheduler is single-threaded by design (even searches touch the shared
+// operation counter), so every method takes the mutex; the paper's
+// algorithm is fast enough (micro-seconds per request) that a single lock
+// is the right concurrency story for a resource manager front-end, and it
+// is exactly how internal/grid serializes sites.
+type SafeScheduler struct {
+	mu sync.Mutex
+	s  *Scheduler
+}
+
+// NewSafe creates a concurrency-safe scheduler.
+func NewSafe(cfg Config, now period.Time) (*SafeScheduler, error) {
+	s, err := New(cfg, now)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeScheduler{s: s}, nil
+}
+
+// Wrap makes an existing scheduler concurrency-safe. The caller must not
+// use the inner scheduler directly afterwards.
+func Wrap(s *Scheduler) *SafeScheduler { return &SafeScheduler{s: s} }
+
+// Submit is a serialized Scheduler.Submit.
+func (w *SafeScheduler) Submit(r job.Request) (job.Allocation, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Submit(r)
+}
+
+// RangeSearch is a serialized Scheduler.RangeSearch.
+func (w *SafeScheduler) RangeSearch(start, end period.Time) []period.Period {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.RangeSearch(start, end)
+}
+
+// Available is a serialized Scheduler.Available.
+func (w *SafeScheduler) Available(start, end period.Time) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Available(start, end)
+}
+
+// Claim is a serialized Scheduler.Claim.
+func (w *SafeScheduler) Claim(server int, start, end period.Time) (job.Allocation, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Claim(server, start, end)
+}
+
+// Release is a serialized Scheduler.Release.
+func (w *SafeScheduler) Release(alloc job.Allocation, at period.Time) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Release(alloc, at)
+}
+
+// SuggestAlternatives is a serialized Scheduler.SuggestAlternatives.
+func (w *SafeScheduler) SuggestAlternatives(r job.Request, k int) []period.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.SuggestAlternatives(r, k)
+}
+
+// Advance is a serialized Scheduler.Advance.
+func (w *SafeScheduler) Advance(now period.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.s.Advance(now)
+}
+
+// Now is a serialized Scheduler.Now.
+func (w *SafeScheduler) Now() period.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Now()
+}
+
+// HorizonEnd is a serialized Scheduler.HorizonEnd.
+func (w *SafeScheduler) HorizonEnd() period.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.HorizonEnd()
+}
+
+// Stats is a serialized Scheduler.Stats.
+func (w *SafeScheduler) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Stats()
+}
+
+// Ops is a serialized Scheduler.Ops.
+func (w *SafeScheduler) Ops() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Ops()
+}
+
+// Utilization is a serialized Scheduler.Utilization.
+func (w *SafeScheduler) Utilization(a, b period.Time) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Utilization(a, b)
+}
+
+// Snapshot is a serialized Scheduler.Snapshot.
+func (w *SafeScheduler) Snapshot(out io.Writer) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Snapshot(out)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// TestSafeSchedulerConcurrentClients hammers a SafeScheduler from many
+// goroutines and verifies, after the dust settles, that no server was
+// double-booked. Run with -race to exercise the memory model.
+func TestSafeSchedulerConcurrentClients(t *testing.T) {
+	w, err := NewSafe(testConfig(16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	const perClient = 50
+
+	var mu sync.Mutex
+	var allocs []job.Allocation
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				switch rng.Intn(5) {
+				case 0:
+					w.RangeSearch(0, period.Time(period.Hour))
+				case 1:
+					w.Available(0, period.Time(2*period.Hour))
+				default:
+					start := period.Time(rng.Int63n(int64(12 * period.Hour)))
+					a, err := w.Submit(job.Request{
+						ID:       int64(c*1000 + i),
+						Start:    start,
+						Duration: period.Duration(1+rng.Int63n(3)) * period.Hour,
+						Servers:  1 + rng.Intn(4),
+					})
+					if err == nil {
+						mu.Lock()
+						allocs = append(allocs, a)
+						mu.Unlock()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(allocs) == 0 {
+		t.Fatal("no allocations made")
+	}
+	for i := 0; i < len(allocs); i++ {
+		for j := i + 1; j < len(allocs); j++ {
+			a, b := allocs[i], allocs[j]
+			if a.Start >= b.End || b.Start >= a.End {
+				continue
+			}
+			for _, sa := range a.Servers {
+				for _, sb := range b.Servers {
+					if sa == sb {
+						t.Fatalf("server %d double-booked by %d and %d", sa, a.Job.ID, b.Job.ID)
+					}
+				}
+			}
+		}
+	}
+	st := w.Stats()
+	if st.Submitted == 0 || st.Accepted != len(allocs) {
+		t.Fatalf("stats %+v vs %d recorded allocations", st, len(allocs))
+	}
+}
+
+func TestWrapSharesState(t *testing.T) {
+	inner := mustNew(t, testConfig(2))
+	if _, err := inner.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w := Wrap(inner)
+	if got := w.Available(0, period.Time(period.Hour)); got != 0 {
+		t.Fatalf("wrapped scheduler lost state: %d free", got)
+	}
+}

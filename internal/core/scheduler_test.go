@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func testConfig(servers int) Config {
+	return Config{
+		Servers:  servers,
+		SlotSize: 15 * period.Minute,
+		Slots:    96, // 24 h horizon
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	cfg := s.Config()
+	if cfg.DeltaT != cfg.SlotSize {
+		t.Errorf("DeltaT default = %d, want SlotSize %d", cfg.DeltaT, cfg.SlotSize)
+	}
+	if cfg.MaxAttempts != cfg.Slots/2 {
+		t.Errorf("MaxAttempts default = %d, want %d", cfg.MaxAttempts, cfg.Slots/2)
+	}
+	if cfg.Policy == nil || cfg.Policy.Name() != "paper" {
+		t.Errorf("default policy = %v, want paper", cfg.Policy)
+	}
+}
+
+func TestImmediateCoAllocation(t *testing.T) {
+	s := mustNew(t, testConfig(8))
+	r := job.Request{ID: 1, Submit: 0, Start: 0, Duration: period.Hour, Servers: 5}
+	a, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wait != 0 || a.Attempts != 1 {
+		t.Fatalf("wait=%d attempts=%d, want 0 and 1", a.Wait, a.Attempts)
+	}
+	if len(a.Servers) != 5 {
+		t.Fatalf("granted %d servers, want 5", len(a.Servers))
+	}
+	seen := map[int]bool{}
+	for _, srv := range a.Servers {
+		if seen[srv] {
+			t.Fatalf("server %d granted twice", srv)
+		}
+		seen[srv] = true
+		if s.IdleAt(srv, period.Time(30*period.Minute)) {
+			t.Fatalf("server %d idle during its reservation", srv)
+		}
+	}
+}
+
+func TestRetryAfterDeltaT(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	// Fill both servers for the first hour.
+	blocker := job.Request{ID: 1, Submit: 0, Start: 0, Duration: period.Hour, Servers: 2}
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	// A new on-demand job must be pushed to t = 1h via Δt retries.
+	r := job.Request{ID: 2, Submit: 0, Start: 0, Duration: period.Hour, Servers: 2}
+	a, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != period.Time(period.Hour) {
+		t.Fatalf("delayed start = %d, want %d", a.Start, period.Hour)
+	}
+	wantAttempts := int(period.Hour/s.Config().DeltaT) + 1
+	if a.Attempts != wantAttempts {
+		t.Fatalf("attempts = %d, want %d", a.Attempts, wantAttempts)
+	}
+	if a.Wait != period.Hour {
+		t.Fatalf("wait = %d, want %d", a.Wait, period.Hour)
+	}
+}
+
+func TestAdvanceReservation(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	// Reserve 3 servers two hours from now.
+	ar := job.Request{ID: 1, Submit: 0, Start: period.Time(2 * period.Hour), Duration: period.Hour, Servers: 3}
+	a, err := s.Submit(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != ar.Start || a.Wait != 0 {
+		t.Fatalf("AR start=%d wait=%d", a.Start, a.Wait)
+	}
+	// An on-demand job overlapping the AR can still get the 4th server
+	// immediately, but not 2 servers for a window covering the AR.
+	od := job.Request{ID: 2, Submit: 0, Start: 0, Duration: 4 * period.Hour, Servers: 2}
+	b, err := s.Submit(od)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start == 0 {
+		// With only one fully-free server, a width-2 job spanning the AR
+		// window must have been delayed past the reservation.
+		t.Fatalf("width-2 job started at 0 despite AR holding 3 of 4 servers")
+	}
+}
+
+func TestRejectionTooWide(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	_, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 5})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonTooWide {
+		t.Fatalf("err = %v, want too-wide rejection", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatal("rejection does not match ErrRejected")
+	}
+}
+
+func TestRejectionBeyondHorizon(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	_, err := s.Submit(job.Request{ID: 1, Duration: 48 * period.Hour, Servers: 1})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonBeyondHorizon {
+		t.Fatalf("err = %v, want beyond-horizon rejection", err)
+	}
+}
+
+func TestRejectionAttemptsExhausted(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxAttempts = 3
+	s := mustNew(t, cfg)
+	// Occupy the single server for the whole horizon.
+	if _, err := s.Submit(job.Request{ID: 1, Duration: 23 * period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(job.Request{ID: 2, Duration: 4 * period.Hour, Servers: 1})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonAttemptsExhausted {
+		t.Fatalf("err = %v, want attempts-exhausted rejection", err)
+	}
+	if rej.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", rej.Attempts)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	s := mustNew(t, testConfig(1))
+	// Block the server for 2 hours.
+	if _, err := s.Submit(job.Request{ID: 1, Duration: 2 * period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline-bound job: must finish by t=2h but the server frees at 2h.
+	r := job.Request{ID: 2, Duration: period.Hour, Servers: 1, Deadline: period.Time(2 * period.Hour)}
+	_, err := s.Submit(r)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonDeadline {
+		t.Fatalf("err = %v, want deadline rejection", err)
+	}
+	// A looser deadline succeeds, starting exactly when the server frees.
+	r = job.Request{ID: 3, Duration: period.Hour, Servers: 1, Deadline: period.Time(4 * period.Hour)}
+	a, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != period.Time(2*period.Hour) || a.End > r.Deadline {
+		t.Fatalf("deadline job start=%d end=%d deadline=%d", a.Start, a.End, r.Deadline)
+	}
+}
+
+func TestSubmitAdvancesClock(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	if _, err := s.Submit(job.Request{ID: 1, Submit: period.Time(3 * period.Hour), Start: period.Time(3 * period.Hour), Duration: period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != period.Time(3*period.Hour) {
+		t.Fatalf("Now = %d after submit at 3h", s.Now())
+	}
+	// An out-of-order request (submitted "earlier" than the clock) has its
+	// start clamped to the scheduler's current time: the clock never runs
+	// backwards and nothing is scheduled in the past.
+	a, err := s.Submit(job.Request{ID: 2, Submit: period.Time(2 * period.Hour), Start: period.Time(2 * period.Hour), Duration: period.Hour, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start < period.Time(3*period.Hour) {
+		t.Fatalf("start %d precedes scheduler clock 3h", a.Start)
+	}
+	if s.Now() != period.Time(3*period.Hour) {
+		t.Fatalf("clock moved backwards to %d", s.Now())
+	}
+}
+
+func TestRangeSearchDoesNotCommit(t *testing.T) {
+	s := mustNew(t, testConfig(4))
+	got := s.RangeSearch(0, period.Time(period.Hour))
+	if len(got) != 4 {
+		t.Fatalf("range search found %d servers, want 4", len(got))
+	}
+	// Nothing was committed: a 4-wide job still fits immediately.
+	a, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 4})
+	if err != nil || a.Start != 0 {
+		t.Fatalf("submit after range search: %v, start=%d", err, a.Start)
+	}
+}
+
+func TestSuggestAlternatives(t *testing.T) {
+	s := mustNew(t, testConfig(1))
+	if _, err := s.Submit(job.Request{ID: 1, Duration: 2 * period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := job.Request{ID: 2, Duration: period.Hour, Servers: 1}
+	alts := s.SuggestAlternatives(r, 3)
+	if len(alts) != 3 {
+		t.Fatalf("got %d alternatives, want 3", len(alts))
+	}
+	if alts[0] != period.Time(2*period.Hour) {
+		t.Fatalf("first alternative = %d, want %d", alts[0], 2*period.Hour)
+	}
+	for i := 1; i < len(alts); i++ {
+		if alts[i] != alts[i-1].Add(s.Config().DeltaT) {
+			t.Fatalf("alternatives not spaced by DeltaT: %v", alts)
+		}
+	}
+	// Suggestions must not commit resources.
+	a, err := s.Submit(job.Request{ID: 3, Start: period.Time(2 * period.Hour), Duration: period.Hour, Servers: 1})
+	if err != nil || a.Start != period.Time(2*period.Hour) {
+		t.Fatalf("submit after suggestions: %v start=%d", err, a.Start)
+	}
+}
+
+func TestEarlyRelease(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	a, err := s.Submit(job.Request{ID: 1, Duration: 4 * period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job finishes after 1 hour; release the remaining 3.
+	if err := s.Release(a, period.Time(period.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(job.Request{ID: 2, Submit: period.Time(period.Hour), Start: period.Time(period.Hour), Duration: period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start != period.Time(period.Hour) {
+		t.Fatalf("post-release job start = %d, want %d", b.Start, period.Hour)
+	}
+	if err := s.Release(b, b.End); err == nil {
+		t.Fatal("release at allocation end accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 2})
+	s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 3}) // too wide
+	s.RangeSearch(0, period.Time(period.Hour))
+	st := s.Stats()
+	if st.Submitted != 2 || st.Accepted != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.RangeSearches != 1 {
+		t.Fatalf("range searches = %d", st.RangeSearches)
+	}
+	if st.TotalAttempts < 1 {
+		t.Fatalf("total attempts = %d", st.TotalAttempts)
+	}
+}
+
+func TestUtilizationAfterSubmit(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	if _, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Utilization(0, period.Time(period.Hour))
+	if got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+// TestPoliciesDisjointAndFeasible checks every policy returns want distinct
+// feasible periods.
+func TestPoliciesDisjointAndFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	policies := []SelectionPolicy{PaperOrder{}, BestFit{}, WorstFit{}, &RandomFit{Rng: rng}}
+	for _, pol := range policies {
+		cfg := testConfig(16)
+		cfg.Policy = pol
+		s := mustNew(t, cfg)
+		// Create fragmentation.
+		for i := 0; i < 10; i++ {
+			st := period.Time(rng.Int63n(int64(12 * period.Hour)))
+			s.Submit(job.Request{ID: int64(100 + i), Start: st, Duration: period.Hour, Servers: 1 + rng.Intn(3)})
+		}
+		a, err := s.Submit(job.Request{ID: 1, Duration: 2 * period.Hour, Servers: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if len(a.Servers) != 6 {
+			t.Fatalf("%s: granted %d servers", pol.Name(), len(a.Servers))
+		}
+		seen := map[int]bool{}
+		for _, srv := range a.Servers {
+			if seen[srv] {
+				t.Fatalf("%s: duplicate server %d", pol.Name(), srv)
+			}
+			seen[srv] = true
+		}
+	}
+}
+
+func TestBestFitPrefersTightGaps(t *testing.T) {
+	start := period.Time(0)
+	end := period.Time(10)
+	feasible := []period.Period{
+		{Server: 0, Start: 0, End: period.Infinity},
+		{Server: 1, Start: 0, End: 12}, // tightest
+		{Server: 2, Start: 0, End: 100},
+	}
+	got := BestFit{}.Select(feasible, start, end, 1)
+	if got[0].Server != 1 {
+		t.Fatalf("best fit picked server %d, want 1", got[0].Server)
+	}
+	// Worst fit prefers the unbounded period (no right-side waste counted,
+	// but left waste 0 everywhere; among finite, 100 beats 12).
+	got = WorstFit{}.Select(feasible[1:], start, end, 1)
+	if got[0].Server != 2 {
+		t.Fatalf("worst fit picked server %d, want 2", got[0].Server)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "paper", "bestfit", "worstfit", "random"} {
+		if PolicyByName(name, nil) == nil {
+			t.Errorf("PolicyByName(%q) = nil", name)
+		}
+	}
+	if PolicyByName("nope", nil) != nil {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := mustNew(t, testConfig(2))
+	bad := []job.Request{
+		{ID: 1, Duration: period.Hour, Servers: 0},
+		{ID: 2, Duration: 0, Servers: 1},
+		{ID: 3, Submit: 100, Start: 50, Duration: period.Hour, Servers: 1},
+		{ID: 4, Duration: period.Hour, Servers: 1, Deadline: period.Time(period.Minute)},
+	}
+	for _, r := range bad {
+		if _, err := s.Submit(r); err == nil {
+			t.Errorf("invalid request %+v accepted", r)
+		}
+	}
+}
+
+// TestNoDoubleBookingUnderLoad floods a small system and verifies, from the
+// scheduler's own ground truth, that no server is ever double-booked and all
+// allocations are honored.
+func TestNoDoubleBookingUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := testConfig(8)
+	s := mustNew(t, cfg)
+	var allocs []job.Allocation
+	now := period.Time(0)
+	for i := 0; i < 400; i++ {
+		now += period.Time(rng.Int63n(int64(10 * period.Minute)))
+		r := job.Request{
+			ID:       int64(i),
+			Submit:   now,
+			Start:    now,
+			Duration: period.Duration(1+rng.Int63n(4)) * period.Hour,
+			Servers:  1 + rng.Intn(4),
+		}
+		if rng.Intn(4) == 0 { // quarter are advance reservations
+			r.Start = now + period.Time(rng.Int63n(int64(3*period.Hour)))
+		}
+		a, err := s.Submit(r)
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("job %d: %v", i, err)
+			}
+			continue
+		}
+		if a.Start < r.Start {
+			t.Fatalf("job %d started at %d before requested %d", i, a.Start, r.Start)
+		}
+		allocs = append(allocs, a)
+	}
+	if len(allocs) == 0 {
+		t.Fatal("no allocations made")
+	}
+	// Cross-check all pairs on the same server for overlap.
+	for i := 0; i < len(allocs); i++ {
+		for j := i + 1; j < len(allocs); j++ {
+			for _, si := range allocs[i].Servers {
+				for _, sj := range allocs[j].Servers {
+					if si == sj && allocs[i].Start < allocs[j].End && allocs[j].Start < allocs[i].End {
+						t.Fatalf("server %d double-booked by jobs %d and %d", si, allocs[i].Job.ID, allocs[j].Job.ID)
+					}
+				}
+			}
+		}
+	}
+}

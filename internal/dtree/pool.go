@@ -1,0 +1,63 @@
+package dtree
+
+// pool recycles primary and secondary tree nodes. The slot calendar churns
+// through nodes at a high rate (every allocation touches every overlapping
+// slot tree, per §4.2), and without recycling the garbage collector
+// dominates simulation time. Each Tree owns one pool; nodes never migrate
+// between trees.
+type pool struct {
+	nodes  []*node
+	enodes []*enode
+}
+
+func (p *pool) node() *node {
+	if n := len(p.nodes); n > 0 {
+		nd := p.nodes[n-1]
+		p.nodes = p.nodes[:n-1]
+		return nd
+	}
+	return &node{}
+}
+
+func (p *pool) putNode(n *node) {
+	*n = node{}
+	p.nodes = append(p.nodes, n)
+}
+
+func (p *pool) enode() *enode {
+	if n := len(p.enodes); n > 0 {
+		nd := p.enodes[n-1]
+		p.enodes = p.enodes[:n-1]
+		return nd
+	}
+	return &enode{}
+}
+
+func (p *pool) putEnode(n *enode) {
+	*n = enode{}
+	p.enodes = append(p.enodes, n)
+}
+
+// releaseTree recycles an entire primary subtree, including every secondary
+// tree hanging off it.
+func (p *pool) releaseTree(n *node) {
+	if n == nil {
+		return
+	}
+	p.releaseTree(n.left)
+	p.releaseTree(n.right)
+	if n.sec != nil {
+		p.releaseEtree(n.sec.root)
+	}
+	p.putNode(n)
+}
+
+// releaseEtree recycles a secondary subtree.
+func (p *pool) releaseEtree(n *enode) {
+	if n == nil {
+		return
+	}
+	p.releaseEtree(n.left)
+	p.releaseEtree(n.right)
+	p.putEnode(n)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coalloc/internal/batch"
+	"coalloc/internal/core"
+	"coalloc/internal/metrics"
+	"coalloc/internal/period"
+	"coalloc/internal/seqalloc"
+	"coalloc/internal/sim"
+	"coalloc/internal/workload"
+)
+
+// AblationPolicies compares the idle-period selection policies of §4.2's
+// range-search post-processing on the KTH workload.
+func (r *Runner) AblationPolicies() *Report {
+	rep := &Report{
+		ID:      "policies",
+		Title:   "Ablation: selection policy (KTH)",
+		Columns: []string{"policy", "mean W_r (h)", "max W_r (h)", "acceptance", "ops/request", "utilization"},
+	}
+	m := workload.KTH()
+	jobs := r.workloadJobs(m)
+	for _, name := range []string{"paper", "bestfit", "worstfit", "random"} {
+		cfg := sim.DefaultCoreConfig(m.Servers)
+		cfg.Policy = core.PolicyByName(name, nil)
+		res, err := sim.RunOnline(cfg, jobs)
+		if err != nil {
+			panic(err)
+		}
+		var maxW period.Duration
+		for _, jr := range res.Results {
+			if jr.Accepted && jr.Wait > maxW {
+				maxW = jr.Wait
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", res.MeanWait()/hourSecs),
+			fmt.Sprintf("%.1f", maxW.Hours()),
+			fmt.Sprintf("%.3f", res.AcceptanceRate()),
+			fmt.Sprintf("%.0f", res.MeanOpsPerJob()),
+			fmt.Sprintf("%.2f", res.Utilization),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"the paper allocates in retrieval order; best-fit trades extra search work (NeedsAll) for packing quality")
+	return rep
+}
+
+// AblationSlotSize sweeps the slot size τ (with Δt = τ and a fixed 7-day
+// horizon), the core data-structure granularity choice of §4.1.
+func (r *Runner) AblationSlotSize() *Report {
+	rep := &Report{
+		ID:      "slotsize",
+		Title:   "Ablation: slot size tau (KTH, horizon 7 d, delta_t = tau)",
+		Columns: []string{"tau", "slots Q", "mean W_r (h)", "acceptance", "ops/request"},
+	}
+	m := workload.KTH()
+	jobs := r.workloadJobs(m)
+	for _, tau := range []period.Duration{5 * period.Minute, 15 * period.Minute, 30 * period.Minute, period.Hour} {
+		cfg := coreConfigFor(m.Servers, tau, 7*period.Day, tau)
+		res, err := sim.RunOnline(cfg, jobs)
+		if err != nil {
+			panic(err)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f min", tau.Minutes()),
+			fmt.Sprintf("%d", cfg.Slots),
+			fmt.Sprintf("%.2f", res.MeanWait()/hourSecs),
+			fmt.Sprintf("%.3f", res.AcceptanceRate()),
+			fmt.Sprintf("%.0f", res.MeanOpsPerJob()),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"smaller tau = finer placement (lower waits) but more slot trees to update per allocation (more ops) — the §4.1 trade-off")
+	return rep
+}
+
+// AblationDeltaT sweeps the retry increment Δt with τ fixed at 15 minutes —
+// the knob §4.2 says administrators should tune.
+func (r *Runner) AblationDeltaT() *Report {
+	rep := &Report{
+		ID:      "deltat",
+		Title:   "Ablation: retry increment delta_t (KTH, tau = 15 min)",
+		Columns: []string{"delta_t", "mean W_r (h)", "mean attempts", "acceptance", "ops/request"},
+	}
+	m := workload.KTH()
+	jobs := r.workloadJobs(m)
+	for _, dt := range []period.Duration{5 * period.Minute, 15 * period.Minute, 30 * period.Minute, period.Hour} {
+		cfg := sim.DefaultCoreConfig(m.Servers)
+		cfg.DeltaT = dt
+		res, err := sim.RunOnline(cfg, jobs)
+		if err != nil {
+			panic(err)
+		}
+		var att metrics.Summary
+		for _, jr := range res.Results {
+			att.Add(float64(jr.Attempts))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.0f min", dt.Minutes()),
+			fmt.Sprintf("%.2f", res.MeanWait()/hourSecs),
+			fmt.Sprintf("%.2f", att.Mean()),
+			fmt.Sprintf("%.3f", res.AcceptanceRate()),
+			fmt.Sprintf("%.0f", res.MeanOpsPerJob()),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper §4.2: small delta_t is aggressive (tight waits, more attempts); the paper found no major gain below 15 min")
+	return rep
+}
+
+// AblationDisciplines compares the online scheduler with every batch
+// discipline on CTC and KTH.
+func (r *Runner) AblationDisciplines() *Report {
+	rep := &Report{
+		ID:      "disciplines",
+		Title:   "Ablation: online vs batch disciplines",
+		Columns: []string{"workload", "scheduler", "mean W_r (h)", "max W_r (h)"},
+	}
+	for _, m := range []workload.Model{workload.CTC(), workload.KTH()} {
+		res := r.onlineRun(m, 0)
+		var maxW period.Duration
+		for _, jr := range res.Results {
+			if jr.Accepted && jr.Wait > maxW {
+				maxW = jr.Wait
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			m.Name, "online",
+			fmt.Sprintf("%.2f", res.MeanWait()/hourSecs),
+			fmt.Sprintf("%.1f", maxW.Hours()),
+		})
+		for _, disc := range []batch.Discipline{batch.FCFS, batch.EASY, batch.Conservative} {
+			b := r.batchRun(m, disc)
+			var bMax period.Duration
+			for _, o := range b.Outcomes {
+				if !o.Rejected && o.Wait > bMax {
+					bMax = o.Wait
+				}
+			}
+			rep.Rows = append(rep.Rows, []string{
+				m.Name, disc.String(),
+				fmt.Sprintf("%.2f", b.MeanWait()/hourSecs),
+				fmt.Sprintf("%.1f", bMax.Hours()),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"FCFS is the paper's batch reference; EASY/conservative backfilling narrow the gap, which the paper's related work anticipates")
+	return rep
+}
+
+// AblationSequential compares the cost of the paper's tree search with the
+// sequential one-server-at-a-time allocation its introduction dismisses as
+// computationally expensive.
+func (r *Runner) AblationSequential() *Report {
+	rep := &Report{
+		ID:      "sequential",
+		Title:   "Ablation: 2-d tree co-allocation vs sequential atomic allocation",
+		Columns: []string{"workload", "N", "tree ops/request", "sequential ops/request", "ratio"},
+	}
+	for _, m := range []workload.Model{workload.KTH(), workload.CTC()} {
+		jobs := r.workloadJobs(m)
+		tree := r.onlineRun(m, 0)
+
+		seq, err := seqalloc.New(seqalloc.Config{
+			Servers:     m.Servers,
+			Horizon:     7 * period.Day,
+			DeltaT:      15 * period.Minute,
+			MaxAttempts: 336,
+		}, 0)
+		if err != nil {
+			panic(err)
+		}
+		var seqJobs int
+		for _, j := range jobs {
+			if _, err := seq.Submit(j); err == nil {
+				seqJobs++
+			}
+		}
+		if seqJobs == 0 {
+			continue
+		}
+		treeOps := tree.MeanOpsPerJob()
+		seqOps := float64(seq.Ops()) / float64(len(jobs))
+		rep.Rows = append(rep.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", m.Servers),
+			fmt.Sprintf("%.0f", treeOps),
+			fmt.Sprintf("%.0f", seqOps),
+			fmt.Sprintf("%.2fx", seqOps/treeOps),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"per attempt the sequential scan is O(N) vs the tree's O(log^2 N); the tree pays an O(Q) update factor on success, which dominates at small N — the crossover favouring the tree appears as N grows (§1, §4.3)")
+	return rep
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Ablation-specific shape tests. They share sharedRunner (700-job replays)
+// with the artifact tests, so each underlying scheduler run happens once
+// per test process.
+
+func TestEarlyReleaseMonotone(t *testing.T) {
+	rep := smallRunner().AblationEarlyRelease()
+	renderOK(t, rep)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	// Mean wait (col 1) must not increase as run/estimate shrinks, and
+	// utilization (col 4) must strictly decrease.
+	prevWait, prevUtil := 1e18, 1e18
+	for i, row := range rep.Rows {
+		wait := cell(t, rep, i, 1)
+		util := cell(t, rep, i, 4)
+		if wait > prevWait+0.05 { // small tolerance for bin noise
+			t.Fatalf("wait grew at row %d: %v", i, row)
+		}
+		if util >= prevUtil {
+			t.Fatalf("utilization did not shrink at row %d: %v", i, row)
+		}
+		prevWait, prevUtil = wait, util
+	}
+}
+
+func TestMultisiteStrategiesShape(t *testing.T) {
+	rep := smallRunner().AblationMultisite()
+	renderOK(t, rep)
+	var single, greedy int
+	for i, row := range rep.Rows {
+		rejected := int(cell(t, rep, i, 2))
+		switch row[0] {
+		case "single":
+			single = rejected
+		case "greedy":
+			greedy = rejected
+		}
+	}
+	// Splitting strategies must reject no more than single-site placement.
+	if greedy > single {
+		t.Fatalf("greedy rejected %d > single %d", greedy, single)
+	}
+}
+
+func TestOpSplitUpdateDominates(t *testing.T) {
+	rep := smallRunner().AblationOpSplit()
+	renderOK(t, rep)
+	for i, row := range rep.Rows {
+		up := strings.TrimSuffix(rep.Rows[i][3], "%")
+		v, err := strconv.ParseFloat(up, 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if v < 50 {
+			t.Fatalf("%s: update share %v%% — expected the O(Q) update factor to dominate", row[0], v)
+		}
+	}
+}
+
+func TestLoadSweepShape(t *testing.T) {
+	rep := smallRunner().AblationLoadSweep()
+	renderOK(t, rep)
+	// Online wait and FCFS wait must both grow with load; FCFS must be
+	// above online at the highest load by a wide margin.
+	n := len(rep.Rows)
+	onlineFirst, onlineLast := cell(t, rep, 0, 1), cell(t, rep, n-1, 1)
+	fcfsLast := cell(t, rep, n-1, 4)
+	if onlineLast <= onlineFirst {
+		t.Fatalf("online wait did not grow with load: %v -> %v", onlineFirst, onlineLast)
+	}
+	if fcfsLast < 3*onlineLast {
+		t.Fatalf("FCFS wait %v not far above online %v at peak load", fcfsLast, onlineLast)
+	}
+	// Achieved utilization grows with offered load (it saturates below the
+	// offered value at the hottest points, so compare endpoints).
+	utilFirst, utilLast := cell(t, rep, 0, 2), cell(t, rep, n-1, 2)
+	if utilLast <= utilFirst {
+		t.Fatalf("achieved utilization did not grow with load: %v -> %v", utilFirst, utilLast)
+	}
+}
+
+func TestFairnessLevels(t *testing.T) {
+	rep := smallRunner().AblationFairness()
+	renderOK(t, rep)
+	var onlineMean, fcfsMean float64
+	for i, row := range rep.Rows {
+		switch row[0] {
+		case "online":
+			onlineMean = cell(t, rep, i, 4)
+		case "fcfs":
+			fcfsMean = cell(t, rep, i, 4)
+		}
+	}
+	if fcfsMean < 5*onlineMean {
+		t.Fatalf("FCFS mean-user penalty %v not far above online %v", fcfsMean, onlineMean)
+	}
+}
+
+func TestLambdaAssignmentRows(t *testing.T) {
+	rep := smallRunner().AblationLambda()
+	renderOK(t, rep)
+	if len(rep.Rows) != 6 {
+		t.Fatalf("%d rows, want 6 (2 modes x 3 policies)", len(rep.Rows))
+	}
+	for i := range rep.Rows {
+		p := cell(t, rep, i, 4)
+		if p < 0 || p > 1 {
+			t.Fatalf("blocking probability %v out of range", p)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedRunner is reused by every shape test: the Runner memoizes workload
+// generation and scheduler replays, so sharing it makes the suite pay for
+// each replay exactly once.
+var sharedRunner = NewRunner(Config{Jobs: 700, Seed: 3})
+
+func smallRunner() *Runner { return sharedRunner }
+
+func renderOK(t *testing.T, rep *Report) string {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.ID == "" || rep.Title == "" || len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+		t.Fatalf("report %q incomplete: %+v", rep.ID, rep)
+	}
+	for i, row := range rep.Rows {
+		if len(row) != len(rep.Columns) {
+			t.Fatalf("report %q row %d has %d cells, want %d", rep.ID, i, len(row), len(rep.Columns))
+		}
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, rep.Title) {
+		t.Fatalf("rendered output missing title:\n%s", out)
+	}
+	return out
+}
+
+func cell(t *testing.T, rep *Report, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[row][col], "x"), 64)
+	if err != nil {
+		t.Fatalf("report %s cell (%d,%d) = %q not numeric: %v", rep.ID, row, col, rep.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep := smallRunner().Table1()
+	renderOK(t, rep)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("Table 1 has %d workloads, want 3", len(rep.Rows))
+	}
+	// Column 3 is the published mean; column 5 the generated one. They must
+	// agree within 15%.
+	for _, row := range rep.Rows {
+		pub, _ := strconv.ParseFloat(row[3], 64)
+		gen, _ := strconv.ParseFloat(row[5], 64)
+		if gen < pub*0.85 || gen > pub*1.15 {
+			t.Errorf("%s: generated mean %.2f vs published %.2f", row[0], gen, pub)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rep := smallRunner().Figure3()
+	renderOK(t, rep)
+	// The paper's headline: small jobs suffer an order of magnitude higher
+	// penalty under batch. Check the first bin's ratio >= 5x.
+	ratio := cell(t, rep, 0, 3)
+	if ratio < 5 {
+		t.Errorf("small-job batch/online penalty ratio %.1fx, want >= 5x (paper: >= 10x)", ratio)
+	}
+	// Online penalty must decrease from the first to later bins (small jobs
+	// are easy for the online scheduler).
+	if first, later := cell(t, rep, 0, 1), cell(t, rep, 2, 1); later > first {
+		t.Errorf("online penalty grows from %.2f to %.2f: shape mismatch", first, later)
+	}
+}
+
+func TestFigure4aShape(t *testing.T) {
+	rep := smallRunner().Figure4a()
+	out := renderOK(t, rep)
+	// Online mass in the first bin must exceed batch mass for KTH (cols 3,4).
+	if on, bat := cell(t, rep, 0, 3), cell(t, rep, 0, 4); on <= bat {
+		t.Errorf("KTH first-bin frequency online %.3f <= batch %.3f", on, bat)
+	}
+	// Batch tail (overflow bin) must exceed online tail for KTH.
+	last := len(rep.Rows) - 1
+	if on, bat := cell(t, rep, last, 3), cell(t, rep, last, 4); on >= bat {
+		t.Errorf("KTH tail frequency online %.3f >= batch %.3f", on, bat)
+	}
+	if !strings.Contains(out, "max wait") {
+		t.Error("missing max-wait notes")
+	}
+}
+
+func TestFigure4bShape(t *testing.T) {
+	rep := smallRunner().Figure4b()
+	renderOK(t, rep)
+	// KTH first bin (jobs < 2 h) must dominate CTC's.
+	if ctc, kth := cell(t, rep, 0, 1), cell(t, rep, 0, 2); kth <= ctc {
+		t.Errorf("first-bin frequency KTH %.3f <= CTC %.3f", kth, ctc)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rep := smallRunner().Figure5()
+	renderOK(t, rep)
+	// For each workload, the widest bucket's online wait must exceed the
+	// narrowest bucket's (wait grows with spatial size).
+	byWorkload := map[string][]float64{}
+	for i, row := range rep.Rows {
+		byWorkload[row[0]] = append(byWorkload[row[0]], cell(t, rep, i, 2))
+	}
+	for name, waits := range byWorkload {
+		if len(waits) < 2 {
+			continue
+		}
+		if waits[len(waits)-1] <= waits[0] {
+			t.Errorf("%s: wait does not grow with width (%.2f -> %.2f)", name, waits[0], waits[len(waits)-1])
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rep := smallRunner().Table2()
+	renderOK(t, rep)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("Table 2 has %d rows, want 2", len(rep.Rows))
+	}
+	// Attempts grow with width for CTC: last populated bucket > first.
+	row := rep.Rows[0]
+	var first, last float64
+	var seen bool
+	for _, c := range row[1:] {
+		if c == "—" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(c, 64)
+		if !seen {
+			first, seen = v, true
+		}
+		last = v
+	}
+	if !seen || last <= first {
+		t.Errorf("CTC attempts do not grow with width: %v", row)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rep := smallRunner().Figure6()
+	renderOK(t, rep)
+	// As rho grows, the [0,1) mass drops and the [1,3) mass grows (the AR
+	// lead window). Check the KTH section's first bin: rho=0 col 2 vs
+	// rho=0.8 col 6.
+	var kthFirst []string
+	for _, row := range rep.Rows {
+		if row[0] == "KTH" && row[1] == "[0,1)" {
+			kthFirst = row
+		}
+	}
+	if kthFirst == nil {
+		t.Fatal("missing KTH [0,1) row")
+	}
+	r0, _ := strconv.ParseFloat(kthFirst[2], 64)
+	r8, _ := strconv.ParseFloat(kthFirst[6], 64)
+	if r8 >= r0 {
+		t.Errorf("KTH [0,1) mass did not shift out as rho grew: %.3f -> %.3f", r0, r8)
+	}
+}
+
+func TestFigure7aShape(t *testing.T) {
+	rep := smallRunner().Figure7a()
+	renderOK(t, rep)
+	// Mean wait must increase monotonically-ish in rho for every workload:
+	// final > first.
+	for col := 1; col <= 3; col++ {
+		first := cell(t, rep, 0, col)
+		last := cell(t, rep, len(rep.Rows)-1, col)
+		if last <= first {
+			t.Errorf("column %s: wait did not rise with rho (%.2f -> %.2f)", rep.Columns[col], first, last)
+		}
+	}
+}
+
+func TestFigure7bShape(t *testing.T) {
+	rep := smallRunner().Figure7b()
+	renderOK(t, rep)
+	// Scalability claim: ops per request stay within a small factor across
+	// rho for CTC and KTH (the large, congested systems).
+	for col := 1; col <= 2; col++ {
+		lo, hi := 1e18, 0.0
+		for rowIdx := range rep.Rows {
+			v := cell(t, rep, rowIdx, col)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo <= 0 || hi/lo > 4 {
+			t.Errorf("column %s: ops vary %.1fx across rho, want < 4x", rep.Columns[col], hi/lo)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are heavy")
+	}
+	r := smallRunner()
+	for _, rep := range r.Ablations() {
+		renderOK(t, rep)
+	}
+}
+
+func TestByIDCoversAll(t *testing.T) {
+	r := NewRunner(Config{Jobs: 150, Seed: 5})
+	for _, id := range IDs() {
+		rep := r.ByID(id)
+		if rep == nil {
+			t.Fatalf("ByID(%q) = nil", id)
+		}
+		if rep.ID != id {
+			t.Fatalf("ByID(%q) returned report %q", id, rep.ID)
+		}
+	}
+	if r.ByID("nope") != nil {
+		t.Fatal("unknown id returned a report")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "va,l\"ue"}},
+	}
+	var buf bytes.Buffer
+	rep.RenderCSV(&buf)
+	want := "experiment,a,b\nx,1,\"va,l\"\"ue\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,301 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"coalloc/internal/period"
+)
+
+// Request is a cross-site co-allocation request: n_r servers anywhere in
+// the grid, simultaneously, for [Start, Start+Duration).
+type Request struct {
+	ID       int64
+	Start    period.Time
+	Duration period.Duration
+	Servers  int
+}
+
+// GrantedShare records the servers one site contributed to a co-allocation.
+type GrantedShare struct {
+	Site    string
+	Servers []int
+}
+
+// MultiAllocation is a committed cross-site co-allocation.
+type MultiAllocation struct {
+	HoldID   string
+	Start    period.Time
+	End      period.Time
+	Shares   []GrantedShare
+	Attempts int
+}
+
+// TotalServers returns the number of servers granted across all sites.
+func (m MultiAllocation) TotalServers() int {
+	n := 0
+	for _, s := range m.Shares {
+		n += len(s.Servers)
+	}
+	return n
+}
+
+// ErrNoCapacity is returned when every window within the retry budget
+// failed.
+var ErrNoCapacity = errors.New("grid: no window with sufficient cross-site capacity")
+
+// CommitError reports a partial phase-2 failure: the broker decided commit
+// but could not reach every prepared site before giving up. Sites that
+// missed the decision release their holds at lease expiry (presumed abort),
+// so the grid converges to a consistent state; the job, however, must be
+// re-submitted.
+type CommitError struct {
+	HoldID    string
+	Committed []string
+	Failed    []string
+	Err       error
+}
+
+// Error implements the error interface.
+func (e *CommitError) Error() string {
+	return fmt.Sprintf("grid: partial commit of %s (committed %v, failed %v): %v",
+		e.HoldID, e.Committed, e.Failed, e.Err)
+}
+
+// BrokerConfig parameterizes a Broker. Zero fields take documented
+// defaults.
+type BrokerConfig struct {
+	// Name prefixes hold IDs so concurrent brokers never collide.
+	Name string
+	// Strategy splits jobs across sites; defaults to Greedy.
+	Strategy Strategy
+	// Lease bounds how long a prepared hold survives without a decision.
+	// Defaults to 5 minutes of simulation time.
+	Lease period.Duration
+	// DeltaT is the window retry increment (the paper's Δt); default 15 min.
+	DeltaT period.Duration
+	// MaxAttempts bounds window retries (the paper's R_max); default 16.
+	MaxAttempts int
+	// CommitRetries bounds phase-2 re-delivery attempts per site; default 3.
+	CommitRetries int
+}
+
+func (c *BrokerConfig) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "broker"
+	}
+	if c.Strategy == nil {
+		c.Strategy = Greedy{}
+	}
+	if c.Lease <= 0 {
+		c.Lease = 5 * period.Minute
+	}
+	if c.DeltaT <= 0 {
+		c.DeltaT = 15 * period.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 16
+	}
+	if c.CommitRetries <= 0 {
+		c.CommitRetries = 3
+	}
+}
+
+// BrokerStats counts protocol outcomes.
+type BrokerStats struct {
+	Requests       int
+	Granted        int
+	Rejected       int
+	PartialCommits int
+	Aborts         uint64 // total holds aborted during failed attempts
+}
+
+// Broker coordinates atomic co-allocations across sites. It is safe for
+// concurrent use.
+type Broker struct {
+	cfg   BrokerConfig
+	sites []Conn // sorted by name: the global prepare order
+
+	mu       sync.Mutex
+	nextHold int64
+	stats    BrokerStats
+}
+
+// NewBroker creates a broker over the given site connections.
+func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
+	if len(sites) == 0 {
+		return nil, errors.New("grid: broker needs at least one site")
+	}
+	cfg.applyDefaults()
+	ordered := append([]Conn(nil), sites...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Name() < ordered[j].Name() })
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].Name() == ordered[i-1].Name() {
+			return nil, fmt.Errorf("grid: duplicate site name %q", ordered[i].Name())
+		}
+	}
+	return &Broker{cfg: cfg, sites: ordered}, nil
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Sites returns the broker's site connections in prepare order.
+func (b *Broker) Sites() []Conn { return append([]Conn(nil), b.sites...) }
+
+func (b *Broker) newHoldID() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextHold++
+	return fmt.Sprintf("%s-%d", b.cfg.Name, b.nextHold)
+}
+
+// CoAllocate finds a window in which the grid can supply the request's
+// servers and commits it atomically across the chosen sites. On failure of
+// one window it retries Δt later, up to MaxAttempts windows, mirroring the
+// single-system algorithm of §4.2.
+func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, error) {
+	if req.Servers <= 0 || req.Duration <= 0 {
+		return MultiAllocation{}, fmt.Errorf("grid: invalid request %+v", req)
+	}
+	b.mu.Lock()
+	b.stats.Requests++
+	b.mu.Unlock()
+
+	start := req.Start
+	if start < now {
+		start = now
+	}
+	var lastErr error
+	for attempt := 1; attempt <= b.cfg.MaxAttempts; attempt++ {
+		end := start.Add(req.Duration)
+		alloc, err := b.tryWindow(now, start, end, req.Servers, attempt)
+		if err == nil {
+			b.mu.Lock()
+			b.stats.Granted++
+			b.mu.Unlock()
+			return alloc, nil
+		}
+		var ce *CommitError
+		if errors.As(err, &ce) {
+			// The grid may be inconsistent until leases expire; do not
+			// retry automatically on the caller's behalf.
+			b.mu.Lock()
+			b.stats.PartialCommits++
+			b.mu.Unlock()
+			return MultiAllocation{}, err
+		}
+		lastErr = err
+		start = start.Add(b.cfg.DeltaT)
+	}
+	b.mu.Lock()
+	b.stats.Rejected++
+	b.mu.Unlock()
+	return MultiAllocation{}, fmt.Errorf("%w (last: %v)", ErrNoCapacity, lastErr)
+}
+
+// tryWindow runs one probe/prepare/commit round for a fixed window.
+func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (MultiAllocation, error) {
+	// Probe every site concurrently; unreachable sites count as empty.
+	avail := make([]Avail, len(b.sites))
+	var wg sync.WaitGroup
+	for i, c := range b.sites {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			n, err := c.Probe(now, start, end)
+			if err != nil {
+				n = 0
+			}
+			cap, err := c.Servers()
+			if err != nil {
+				cap = 0
+			}
+			avail[i] = Avail{Conn: c, Available: n, Capacity: cap}
+		}(i, c)
+	}
+	wg.Wait()
+
+	shares, err := b.cfg.Strategy.Split(total, avail)
+	if err != nil {
+		return MultiAllocation{}, err
+	}
+	// Prepare in canonical (name) order: concurrent brokers acquiring
+	// overlapping site sets therefore never deadlock — one of them simply
+	// fails its prepare and aborts.
+	sort.SliceStable(shares, func(i, j int) bool { return shares[i].Conn.Name() < shares[j].Conn.Name() })
+
+	holdID := b.newHoldID()
+	granted := make([]GrantedShare, 0, len(shares))
+	prepared := make([]Conn, 0, len(shares))
+	for _, sh := range shares {
+		servers, err := sh.Conn.Prepare(now, holdID, start, end, sh.Servers, b.cfg.Lease)
+		if err != nil {
+			// Phase 1 failed: abort everything prepared so far.
+			for _, p := range prepared {
+				_ = p.Abort(now, holdID) // best effort; leases back us up
+			}
+			b.mu.Lock()
+			b.stats.Aborts += uint64(len(prepared))
+			b.mu.Unlock()
+			return MultiAllocation{}, fmt.Errorf("grid: prepare failed at %s: %w", sh.Conn.Name(), err)
+		}
+		prepared = append(prepared, sh.Conn)
+		granted = append(granted, GrantedShare{Site: sh.Conn.Name(), Servers: servers})
+	}
+
+	// Phase 2: commit everywhere, retrying transient failures.
+	var committed, failed []string
+	var commitErr error
+	for _, c := range prepared {
+		var err error
+		for r := 0; r < b.cfg.CommitRetries; r++ {
+			if err = c.Commit(now, holdID); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			failed = append(failed, c.Name())
+			commitErr = err
+			continue
+		}
+		committed = append(committed, c.Name())
+	}
+	if len(failed) > 0 {
+		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Failed: failed, Err: commitErr}
+	}
+	return MultiAllocation{
+		HoldID:   holdID,
+		Start:    start,
+		End:      end,
+		Shares:   granted,
+		Attempts: attempt,
+	}, nil
+}
+
+// ProbeAll returns each site's availability for a window — the cross-site
+// range search (§4.2) exposed to users for their own post-processing.
+func (b *Broker) ProbeAll(now, start, end period.Time) []Avail {
+	avail := make([]Avail, len(b.sites))
+	var wg sync.WaitGroup
+	for i, c := range b.sites {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			n, err := c.Probe(now, start, end)
+			if err != nil {
+				n = 0
+			}
+			cap, _ := c.Servers()
+			avail[i] = Avail{Conn: c, Available: n, Capacity: cap}
+		}(i, c)
+	}
+	wg.Wait()
+	return avail
+}

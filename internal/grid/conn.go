@@ -1,0 +1,53 @@
+package grid
+
+import "coalloc/internal/period"
+
+// Conn is the broker's view of one site. Implementations include the
+// in-process LocalConn below and the net/rpc client in internal/wire; tests
+// also wrap it for failure injection.
+type Conn interface {
+	// Name returns the site's identifier; brokers prepare sites in Name
+	// order to stay deadlock-free across concurrent brokers.
+	Name() string
+	// Servers returns the site's capacity.
+	Servers() (int, error)
+	// Probe reports how many servers could be co-allocated over [start, end).
+	Probe(now, start, end period.Time) (int, error)
+	// Prepare leases servers for the window under holdID (2PC phase 1).
+	Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error)
+	// Commit finalizes a hold (2PC phase 2).
+	Commit(now period.Time, holdID string) error
+	// Abort releases a hold.
+	Abort(now period.Time, holdID string) error
+}
+
+// LocalConn adapts an in-process *Site to the Conn interface.
+type LocalConn struct {
+	Site *Site
+}
+
+// Name implements Conn.
+func (l LocalConn) Name() string { return l.Site.Name() }
+
+// Servers implements Conn.
+func (l LocalConn) Servers() (int, error) { return l.Site.Servers(), nil }
+
+// Probe implements Conn.
+func (l LocalConn) Probe(now, start, end period.Time) (int, error) {
+	return l.Site.Probe(now, start, end), nil
+}
+
+// Prepare implements Conn.
+func (l LocalConn) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return l.Site.Prepare(now, holdID, start, end, servers, lease)
+}
+
+// Commit implements Conn.
+func (l LocalConn) Commit(now period.Time, holdID string) error {
+	return l.Site.Commit(now, holdID)
+}
+
+// Abort implements Conn.
+func (l LocalConn) Abort(now period.Time, holdID string) error {
+	return l.Site.Abort(now, holdID)
+}

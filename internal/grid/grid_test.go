@@ -1,0 +1,456 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/period"
+)
+
+func siteConfig(n int) core.Config {
+	return core.Config{
+		Servers:  n,
+		SlotSize: 15 * period.Minute,
+		Slots:    96,
+	}
+}
+
+func mustSite(t *testing.T, name string, n int) *Site {
+	t.Helper()
+	s, err := NewSite(name, siteConfig(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustBroker(t *testing.T, cfg BrokerConfig, sites ...*Site) *Broker {
+	t.Helper()
+	conns := make([]Conn, len(sites))
+	for i, s := range sites {
+		conns[i] = LocalConn{Site: s}
+	}
+	b, err := NewBroker(cfg, conns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSitePrepareCommit(t *testing.T) {
+	s := mustSite(t, "alpha", 4)
+	servers, err := s.Prepare(0, "h1", 100, 4000, 3, period.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 3 {
+		t.Fatalf("granted %d servers, want 3", len(servers))
+	}
+	if got := s.Probe(0, 100, 4000); got != 1 {
+		t.Fatalf("probe after prepare = %d, want 1", got)
+	}
+	if err := s.Commit(10, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingHolds() != 0 {
+		t.Fatal("hold survived commit")
+	}
+	// Committing twice is a protocol violation.
+	if err := s.Commit(10, "h1"); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestSiteAbortRestoresCapacity(t *testing.T) {
+	s := mustSite(t, "alpha", 4)
+	if _, err := s.Prepare(0, "h1", 100, 4000, 4, period.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Probe(0, 100, 4000); got != 0 {
+		t.Fatalf("probe during hold = %d", got)
+	}
+	if err := s.Abort(10, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Probe(10, 100, 4000); got != 4 {
+		t.Fatalf("probe after abort = %d, want 4", got)
+	}
+	// Aborting an unknown hold is a no-op (presumed abort).
+	if err := s.Abort(10, "nope"); err != nil {
+		t.Fatalf("abort of unknown hold: %v", err)
+	}
+}
+
+func TestSiteLeaseExpiry(t *testing.T) {
+	s := mustSite(t, "alpha", 2)
+	if _, err := s.Prepare(0, "h1", 100, 4000, 2, 30*period.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry the hold pins the servers; a commit after expiry fails
+	// and the capacity is restored.
+	expireAt := period.Time(30 * period.Minute)
+	if err := s.Commit(expireAt, "h1"); err == nil {
+		t.Fatal("commit after lease expiry accepted")
+	}
+	if got := s.Probe(expireAt, period.Time(40*period.Minute), period.Time(70*period.Minute)); got != 2 {
+		t.Fatalf("capacity after expiry = %d, want 2", got)
+	}
+	_, _, _, expired := s.Stats()
+	if expired != 1 {
+		t.Fatalf("expired counter = %d, want 1", expired)
+	}
+}
+
+func TestSitePrepareValidation(t *testing.T) {
+	s := mustSite(t, "alpha", 2)
+	cases := []struct {
+		hold       string
+		start, end period.Time
+		servers    int
+		lease      period.Duration
+	}{
+		{"", 0, 100, 1, period.Hour},    // empty hold
+		{"h", 100, 100, 1, period.Hour}, // empty window
+		{"h", 0, 100, 0, period.Hour},   // no servers
+		{"h", 0, 100, 1, 0},             // no lease
+	}
+	for _, c := range cases {
+		if _, err := s.Prepare(0, c.hold, c.start, c.end, c.servers, c.lease); err == nil {
+			t.Errorf("invalid prepare %+v accepted", c)
+		}
+	}
+	// Duplicate hold IDs are rejected.
+	if _, err := s.Prepare(0, "dup", 100, 4000, 1, period.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prepare(0, "dup", 100, 4000, 1, period.Hour); err == nil {
+		t.Fatal("duplicate hold accepted")
+	}
+	// Windows in the past are rejected.
+	s.Probe(5000, 5000, 6000) // advance the site clock
+	if _, err := s.Prepare(5000, "past", 100, 4000, 1, period.Hour); err == nil {
+		t.Fatal("past window accepted")
+	}
+}
+
+func TestBrokerAtomicSuccess(t *testing.T) {
+	a, b2, c := mustSite(t, "a", 4), mustSite(t, "b", 8), mustSite(t, "c", 2)
+	b := mustBroker(t, BrokerConfig{}, a, b2, c)
+	alloc, err := b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalServers() != 10 {
+		t.Fatalf("granted %d servers, want 10", alloc.TotalServers())
+	}
+	// Greedy fills the 8-server site first, then spills.
+	if alloc.Shares[0].Site != "a" && alloc.Shares[0].Site != "b" {
+		t.Fatalf("unexpected share order: %+v", alloc.Shares)
+	}
+	for _, s := range []*Site{a, b2, c} {
+		if s.PendingHolds() != 0 {
+			t.Fatalf("site %s left with pending holds", s.Name())
+		}
+	}
+	st := b.Stats()
+	if st.Requests != 1 || st.Granted != 1 {
+		t.Fatalf("broker stats %+v", st)
+	}
+}
+
+func TestBrokerRetriesLaterWindow(t *testing.T) {
+	a := mustSite(t, "a", 2)
+	// Occupy both servers for the first hour.
+	if _, err := a.Prepare(0, "pre", 0, period.Time(period.Hour), 2, 24*period.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(0, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	b := mustBroker(t, BrokerConfig{}, a)
+	alloc, err := b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Start != period.Time(period.Hour) {
+		t.Fatalf("retried start = %d, want %d", alloc.Start, period.Hour)
+	}
+	if alloc.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2", alloc.Attempts)
+	}
+}
+
+func TestBrokerRejectsWhenImpossible(t *testing.T) {
+	a := mustSite(t, "a", 2)
+	b := mustBroker(t, BrokerConfig{MaxAttempts: 4}, a)
+	_, err := b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 5})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if st := b.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// failingConn injects phase-specific failures.
+type failingConn struct {
+	Conn
+	failPrepare bool
+	failCommit  bool
+	failProbe   bool
+}
+
+func (f *failingConn) Probe(now, start, end period.Time) (int, error) {
+	if f.failProbe {
+		return 0, errors.New("injected probe failure")
+	}
+	return f.Conn.Probe(now, start, end)
+}
+
+func (f *failingConn) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	if f.failPrepare {
+		return nil, errors.New("injected prepare failure")
+	}
+	return f.Conn.Prepare(now, holdID, start, end, servers, lease)
+}
+
+func (f *failingConn) Commit(now period.Time, holdID string) error {
+	if f.failCommit {
+		return errors.New("injected commit failure")
+	}
+	return f.Conn.Commit(now, holdID)
+}
+
+func TestBrokerAbortsOnPrepareFailure(t *testing.T) {
+	a, b2 := mustSite(t, "a", 4), mustSite(t, "b", 4)
+	bad := &failingConn{Conn: LocalConn{Site: b2}, failPrepare: true}
+	b, err := NewBroker(BrokerConfig{MaxAttempts: 2, Strategy: LoadBalance{}}, LocalConn{Site: a}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 servers must split across both sites; site b always refuses, so the
+	// whole request fails — and site a must end up with nothing held.
+	_, err = b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 6})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if a.PendingHolds() != 0 {
+		t.Fatal("site a left with a dangling hold after abort")
+	}
+	if got := a.Probe(0, 0, period.Time(period.Hour)); got != 4 {
+		t.Fatalf("site a capacity after abort = %d, want 4", got)
+	}
+	if st := b.Stats(); st.Aborts == 0 {
+		t.Fatalf("no aborts recorded: %+v", st)
+	}
+}
+
+func TestBrokerPartialCommitSurfaces(t *testing.T) {
+	a, b2 := mustSite(t, "a", 4), mustSite(t, "b", 4)
+	bad := &failingConn{Conn: LocalConn{Site: b2}, failCommit: true}
+	b, err := NewBroker(BrokerConfig{Strategy: LoadBalance{}}, LocalConn{Site: a}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 6})
+	var ce *CommitError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CommitError", err)
+	}
+	if len(ce.Committed) == 0 || len(ce.Failed) == 0 {
+		t.Fatalf("commit error incomplete: %+v", ce)
+	}
+	// Site b's hold eventually expires, restoring consistency.
+	expire := period.Time(10 * period.Minute)
+	_ = b2.Probe(expire, expire, expire+period.Time(period.Hour))
+	if b2.PendingHolds() != 0 {
+		t.Fatal("failed-commit hold did not expire")
+	}
+}
+
+func TestBrokerSkipsUnreachableSites(t *testing.T) {
+	a, b2 := mustSite(t, "a", 4), mustSite(t, "b", 4)
+	dead := &failingConn{Conn: LocalConn{Site: b2}, failProbe: true}
+	b, err := NewBroker(BrokerConfig{}, LocalConn{Site: a}, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := b.CoAllocate(0, Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Shares) != 1 || alloc.Shares[0].Site != "a" {
+		t.Fatalf("shares = %+v, want only site a", alloc.Shares)
+	}
+}
+
+func TestConcurrentBrokersNoDoubleBooking(t *testing.T) {
+	sites := []*Site{mustSite(t, "a", 8), mustSite(t, "b", 8), mustSite(t, "c", 8)}
+	conns := func() []Conn {
+		out := make([]Conn, len(sites))
+		for i, s := range sites {
+			out[i] = LocalConn{Site: s}
+		}
+		return out
+	}
+	var brokers []*Broker
+	for i := 0; i < 4; i++ {
+		b, err := NewBroker(BrokerConfig{Name: fmt.Sprintf("b%d", i), MaxAttempts: 8}, conns()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brokers = append(brokers, b)
+	}
+	var wg sync.WaitGroup
+	granted := make([][]MultiAllocation, len(brokers))
+	for i, b := range brokers {
+		wg.Add(1)
+		go func(i int, b *Broker) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				alloc, err := b.CoAllocate(0, Request{
+					ID:       int64(i*100 + j),
+					Start:    0,
+					Duration: period.Hour,
+					Servers:  5,
+				})
+				if err == nil {
+					granted[i] = append(granted[i], alloc)
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	// Verify no (site, server) pair is granted twice for overlapping
+	// windows.
+	type key struct {
+		site   string
+		server int
+	}
+	used := map[key][]MultiAllocation{}
+	for _, bs := range granted {
+		for _, alloc := range bs {
+			for _, sh := range alloc.Shares {
+				for _, srv := range sh.Servers {
+					k := key{sh.site(), srv}
+					for _, prev := range used[k] {
+						if alloc.Start < prev.End && prev.Start < alloc.End {
+							t.Fatalf("server %v double-booked: %+v and %+v", k, prev, alloc)
+						}
+					}
+					used[k] = append(used[k], alloc)
+				}
+			}
+		}
+	}
+	for _, s := range sites {
+		if s.PendingHolds() != 0 {
+			t.Fatalf("site %s left with pending holds", s.Name())
+		}
+	}
+}
+
+// site returns the share's site name (helper for the key struct literal).
+func (g GrantedShare) site() string { return g.Site }
+
+func TestStrategies(t *testing.T) {
+	mk := func(names []string, avail []int) []Avail {
+		out := make([]Avail, len(names))
+		for i := range names {
+			s := mustSiteQuiet(names[i], 16)
+			out[i] = Avail{Conn: LocalConn{Site: s}, Available: avail[i], Capacity: 16}
+		}
+		return out
+	}
+
+	t.Run("single best fit", func(t *testing.T) {
+		av := mk([]string{"a", "b", "c"}, []int{10, 6, 8})
+		shares, err := SingleSite{}.Split(6, av)
+		if err != nil || len(shares) != 1 || shares[0].Conn.Name() != "b" || shares[0].Servers != 6 {
+			t.Fatalf("shares = %+v, err %v", shares, err)
+		}
+		if _, err := (SingleSite{}).Split(11, av); err == nil {
+			t.Fatal("impossible single-site split accepted")
+		}
+	})
+
+	t.Run("greedy spills in order", func(t *testing.T) {
+		av := mk([]string{"a", "b", "c"}, []int{4, 10, 2})
+		shares, err := Greedy{}.Split(13, av)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[0].Conn.Name() != "b" || shares[0].Servers != 10 {
+			t.Fatalf("greedy first share %+v", shares[0])
+		}
+		total := 0
+		for _, s := range shares {
+			total += s.Servers
+		}
+		if total != 13 {
+			t.Fatalf("greedy total %d", total)
+		}
+		if _, err := (Greedy{}).Split(17, av); err == nil {
+			t.Fatal("over-capacity greedy split accepted")
+		}
+	})
+
+	t.Run("balance is proportional and exact", func(t *testing.T) {
+		av := mk([]string{"a", "b"}, []int{9, 3})
+		shares, err := LoadBalance{}.Split(8, av)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range shares {
+			total += s.Servers
+			for _, a := range av {
+				if a.Conn.Name() == s.Conn.Name() && s.Servers > a.Available {
+					t.Fatalf("share %+v exceeds availability", s)
+				}
+			}
+		}
+		if total != 8 {
+			t.Fatalf("balance total %d, want 8", total)
+		}
+	})
+
+	t.Run("by name", func(t *testing.T) {
+		for _, n := range []string{"", "greedy", "single", "balance"} {
+			if StrategyByName(n) == nil {
+				t.Errorf("StrategyByName(%q) = nil", n)
+			}
+		}
+		if StrategyByName("bogus") != nil {
+			t.Error("bogus strategy accepted")
+		}
+	})
+}
+
+func mustSiteQuiet(name string, n int) *Site {
+	s, err := NewSite(name, siteConfig(n), 0)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestBrokerValidation(t *testing.T) {
+	if _, err := NewBroker(BrokerConfig{}); err == nil {
+		t.Fatal("broker with no sites accepted")
+	}
+	a1, a2 := mustSiteQuiet("same", 2), mustSiteQuiet("same", 2)
+	if _, err := NewBroker(BrokerConfig{}, LocalConn{Site: a1}, LocalConn{Site: a2}); err == nil {
+		t.Fatal("duplicate site names accepted")
+	}
+	b := mustBroker(t, BrokerConfig{}, mustSiteQuiet("x", 2))
+	if _, err := b.CoAllocate(0, Request{Servers: 0, Duration: period.Hour}); err == nil {
+		t.Fatal("zero-width request accepted")
+	}
+	if _, err := b.CoAllocate(0, Request{Servers: 1, Duration: 0}); err == nil {
+		t.Fatal("zero-duration request accepted")
+	}
+}

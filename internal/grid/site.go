@@ -1,0 +1,193 @@
+// Package grid implements multi-site resource co-allocation: the setting of
+// DUROC (Czajkowski/Foster/Kesselman) and the multi-site strategies of Zhang
+// et al. that the paper positions itself against (§1). Each site runs the
+// paper's online scheduler over its own servers; a broker co-allocates one
+// job's servers across several sites **atomically** using a two-phase
+// commit with leased holds:
+//
+//	Phase 1 (prepare): the broker asks each chosen site to reserve its share
+//	  of the job for the same time window. A site that can, commits the
+//	  servers into its calendar and records a *hold* with a lease deadline;
+//	  a site that cannot, refuses.
+//	Phase 2 (commit/abort): if every site prepared, the broker commits the
+//	  holds (making them durable); otherwise it aborts them all and may
+//	  retry the whole window Δt later, mirroring §4.2's retry loop.
+//
+// Holds that are neither committed nor aborted — a crashed broker, a lost
+// message — expire when their lease passes, releasing the resources; sites
+// therefore never deadlock waiting for a decision. Brokers prepare sites in
+// a canonical order, so two brokers competing for overlapping site sets
+// cannot deadlock either: the protocol's only failure mode is an abort.
+//
+// All timestamps are simulation time supplied by the caller, which keeps
+// the protocol deterministic and testable; a deployment would pass wall
+// clock seconds.
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"coalloc/internal/core"
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// Hold identifies a prepared-but-undecided reservation on one site.
+type Hold struct {
+	ID      string
+	Alloc   job.Allocation
+	Expires period.Time
+}
+
+// Site is one administrative domain: a named pool of servers managed by the
+// paper's online scheduler, extended with prepare/commit/abort holds. It is
+// safe for concurrent use.
+type Site struct {
+	mu    sync.Mutex
+	name  string
+	sched *core.Scheduler
+	holds map[string]Hold
+
+	// stats
+	prepared, committed, aborted, expired uint64
+}
+
+// NewSite creates a site with the given scheduler configuration, starting
+// at time now.
+func NewSite(name string, cfg core.Config, now period.Time) (*Site, error) {
+	s, err := core.New(cfg, now)
+	if err != nil {
+		return nil, err
+	}
+	return &Site{name: name, sched: s, holds: make(map[string]Hold)}, nil
+}
+
+// Name returns the site's identifier.
+func (s *Site) Name() string { return s.name }
+
+// Servers returns the site's capacity.
+func (s *Site) Servers() int { return s.sched.Config().Servers }
+
+// advanceLocked moves the site clock and lazily expires stale holds.
+func (s *Site) advanceLocked(now period.Time) {
+	s.sched.Advance(now)
+	for id, h := range s.holds {
+		if h.Expires <= now {
+			// The broker never decided: release the lease.
+			if err := s.sched.Release(h.Alloc, h.Alloc.Start); err == nil {
+				s.expired++
+			}
+			delete(s.holds, id)
+		}
+	}
+}
+
+// Probe reports how many servers the site could co-allocate over
+// [start, end) as of now, without committing anything.
+func (s *Site) Probe(now, start, end period.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	return s.sched.Available(start, end)
+}
+
+// Prepare attempts to reserve `servers` servers over [start, end) under the
+// given hold ID, leased until now+lease. On success the servers are
+// committed in the site calendar but remain revocable until Commit or lease
+// expiry.
+func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	if holdID == "" || servers <= 0 || end <= start || lease <= 0 {
+		return nil, fmt.Errorf("grid %s: invalid prepare (hold %q, %d servers, [%d,%d), lease %d)",
+			s.name, holdID, servers, start, end, lease)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	if _, dup := s.holds[holdID]; dup {
+		return nil, fmt.Errorf("grid %s: hold %q already exists", s.name, holdID)
+	}
+	if start < now {
+		return nil, fmt.Errorf("grid %s: window start %d in the past (now %d)", s.name, start, now)
+	}
+	// One shot at the exact window — cross-site atomicity requires every
+	// site to grant the same window, so the retry loop lives in the broker.
+	alloc, err := s.sched.Submit(job.Request{
+		ID:       holdLocalID(holdID),
+		Submit:   now,
+		Start:    start,
+		Duration: period.Duration(end - start),
+		Servers:  servers,
+		Deadline: end, // forbid the scheduler from sliding the start
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grid %s: cannot prepare %d servers at [%d,%d): %w", s.name, servers, start, end, err)
+	}
+	s.holds[holdID] = Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
+	s.prepared++
+	return alloc.Servers, nil
+}
+
+// holdLocalID derives a stable numeric job id from a hold id for the local
+// scheduler's bookkeeping.
+func holdLocalID(holdID string) int64 {
+	var h uint64 = 14695981039346656037 // FNV-1a
+	for i := 0; i < len(holdID); i++ {
+		h ^= uint64(holdID[i])
+		h *= 1099511628211
+	}
+	return int64(h >> 1)
+}
+
+// Commit makes a prepared hold durable. Committing an unknown or expired
+// hold returns an error — the broker treats that as a protocol violation.
+func (s *Site) Commit(now period.Time, holdID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	if _, ok := s.holds[holdID]; !ok {
+		return fmt.Errorf("grid %s: commit of unknown or expired hold %q", s.name, holdID)
+	}
+	delete(s.holds, holdID)
+	s.committed++
+	return nil
+}
+
+// Abort releases a prepared hold. Aborting an unknown hold is a no-op
+// (the lease may already have expired), matching presumed-abort 2PC.
+func (s *Site) Abort(now period.Time, holdID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	h, ok := s.holds[holdID]
+	if !ok {
+		return nil
+	}
+	delete(s.holds, holdID)
+	if err := s.sched.Release(h.Alloc, h.Alloc.Start); err != nil {
+		return fmt.Errorf("grid %s: abort release: %v", s.name, err)
+	}
+	s.aborted++
+	return nil
+}
+
+// Stats reports the site's protocol counters.
+func (s *Site) Stats() (prepared, committed, aborted, expired uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prepared, s.committed, s.aborted, s.expired
+}
+
+// PendingHolds returns the number of undecided holds.
+func (s *Site) PendingHolds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.holds)
+}
+
+// Utilization reports committed capacity over [a, b).
+func (s *Site) Utilization(a, b period.Time) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Utilization(a, b)
+}

@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"coalloc/internal/core"
+)
+
+// siteSnapshot serializes a site: identity, protocol counters, pending
+// holds, and the embedded scheduler (as its own snapshot bytes, so the
+// scheduler's format stays self-contained).
+type siteSnapshot struct {
+	Name      string
+	Holds     []Hold
+	Prepared  uint64
+	Committed uint64
+	Aborted   uint64
+	Expired   uint64
+	Scheduler []byte
+}
+
+// Snapshot serializes the site, including undecided holds, so a site daemon
+// can restart without losing its commitments. Holds keep their lease
+// deadlines: a hold whose lease passed while the site was down expires on
+// the first operation after restore, exactly as if the site had stayed up.
+func (s *Site) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sched bytes.Buffer
+	if err := s.sched.Snapshot(&sched); err != nil {
+		return fmt.Errorf("grid %s: snapshot: %w", s.name, err)
+	}
+	snap := siteSnapshot{
+		Name:      s.name,
+		Holds:     make([]Hold, 0, len(s.holds)),
+		Prepared:  s.prepared,
+		Committed: s.committed,
+		Aborted:   s.aborted,
+		Expired:   s.expired,
+		Scheduler: sched.Bytes(),
+	}
+	for _, h := range s.holds {
+		snap.Holds = append(snap.Holds, h)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// RestoreSite reconstructs a site from a Snapshot stream.
+func RestoreSite(r io.Reader) (*Site, error) {
+	var snap siteSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("grid: restore site: %w", err)
+	}
+	sched, err := core.Restore(bytes.NewReader(snap.Scheduler))
+	if err != nil {
+		return nil, fmt.Errorf("grid: restore site %q: %w", snap.Name, err)
+	}
+	s := &Site{
+		name:      snap.Name,
+		sched:     sched,
+		holds:     make(map[string]Hold, len(snap.Holds)),
+		prepared:  snap.Prepared,
+		committed: snap.Committed,
+		aborted:   snap.Aborted,
+		expired:   snap.Expired,
+	}
+	for _, h := range snap.Holds {
+		if h.ID == "" {
+			return nil, fmt.Errorf("grid: restore site %q: hold without id", snap.Name)
+		}
+		s.holds[h.ID] = h
+	}
+	return s, nil
+}

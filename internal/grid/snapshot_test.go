@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+func TestSiteSnapshotRoundTrip(t *testing.T) {
+	s := mustSite(t, "persist", 4)
+	// A committed reservation and a pending hold.
+	if _, err := s.Prepare(0, "done", 100, 4000, 2, period.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(0, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prepare(0, "pending", 100, 4000, 1, period.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Name() != "persist" || restored.Servers() != 4 {
+		t.Fatalf("identity lost: %s/%d", restored.Name(), restored.Servers())
+	}
+	if restored.PendingHolds() != 1 {
+		t.Fatalf("pending holds = %d, want 1", restored.PendingHolds())
+	}
+	// The committed reservation still pins capacity; the pending hold can
+	// still be decided.
+	if got := restored.Probe(10, 100, 4000); got != 1 {
+		t.Fatalf("probe after restore = %d, want 1", got)
+	}
+	if err := restored.Commit(10, "pending"); err != nil {
+		t.Fatal(err)
+	}
+	p, c, a, e := restored.Stats()
+	if p != 2 || c != 2 || a != 0 || e != 0 {
+		t.Fatalf("stats after restore: %d/%d/%d/%d", p, c, a, e)
+	}
+}
+
+func TestSiteSnapshotLeaseExpiresAcrossRestart(t *testing.T) {
+	s := mustSite(t, "persist", 2)
+	if _, err := s.Prepare(0, "h", 100, 4000, 2, 30*period.Minute); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The site comes back after the lease deadline: the hold must expire on
+	// the first touch, restoring capacity.
+	after := period.Time(period.Hour)
+	if got := restored.Probe(after, after+100, after+2000); got != 2 {
+		t.Fatalf("capacity after post-restart expiry = %d, want 2", got)
+	}
+	if restored.PendingHolds() != 0 {
+		t.Fatal("expired hold survived restart")
+	}
+	if err := restored.Commit(after, "h"); err == nil {
+		t.Fatal("commit of lease-expired hold accepted after restart")
+	}
+}
+
+func TestRestoreSiteGarbage(t *testing.T) {
+	if _, err := RestoreSite(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage site snapshot restored")
+	}
+}

@@ -1,0 +1,87 @@
+// Package job defines the request model of the co-allocation problem
+// (Castillo et al., HPDC'09, §2): a job is characterized by the four-tuple
+// (q_r, s_r, l_r, n_r) — submit time, earliest start, duration, and the
+// number of servers required — plus optional extensions the paper describes
+// (deadlines, §5.2).
+package job
+
+import (
+	"fmt"
+
+	"coalloc/internal/period"
+)
+
+// Request is a reservation request submitted to a scheduler.
+type Request struct {
+	ID       int64           // unique job identifier
+	User     int             // submitting user (0 = unknown); drives fairness accounting
+	Submit   period.Time     // q_r: time the request enters the system
+	Start    period.Time     // s_r >= q_r: earliest time the job may start; > Submit means advance reservation
+	Duration period.Duration // l_r: temporal size (estimated run time)
+	Servers  int             // n_r: spatial size (number of servers required)
+
+	// Deadline, when non-zero, is the latest acceptable completion time
+	// (the §5.2 extension). The scheduler will not delay the job past
+	// Deadline - Duration.
+	Deadline period.Time
+
+	// RunTime, when non-zero and smaller than Duration, is the job's actual
+	// execution time; schedulers supporting early release reclaim the
+	// difference. Zero means the job runs for its full estimate.
+	RunTime period.Duration
+
+	// DeltaT, when positive, overrides the scheduler's retry increment for
+	// this request only — §4.2: "applications with tight delay requirements
+	// may request the scheduler to be aggressive in scheduling their
+	// workloads, i.e., use small values of Δt".
+	DeltaT period.Duration
+	// MaxAttempts, when positive, overrides the scheduler's R_max for this
+	// request only.
+	MaxAttempts int
+}
+
+// End returns the completion time of the job if it starts exactly at Start.
+func (r Request) End() period.Time { return r.Start.Add(r.Duration) }
+
+// AdvanceReservation reports whether the request asks for resources at a
+// future time rather than immediately upon submission.
+func (r Request) AdvanceReservation() bool { return r.Start > r.Submit }
+
+// Validate reports the first structural problem with the request, or nil.
+func (r Request) Validate() error {
+	switch {
+	case r.Servers <= 0:
+		return fmt.Errorf("job %d: spatial size %d must be positive", r.ID, r.Servers)
+	case r.Duration <= 0:
+		return fmt.Errorf("job %d: temporal size %d must be positive", r.ID, r.Duration)
+	case r.Start < r.Submit:
+		return fmt.Errorf("job %d: start %d precedes submission %d", r.ID, r.Start, r.Submit)
+	case r.RunTime < 0 || r.RunTime > r.Duration:
+		return fmt.Errorf("job %d: run time %d outside (0, duration %d]", r.ID, r.RunTime, r.Duration)
+	case r.Deadline != 0 && r.Deadline < r.Start.Add(r.Duration):
+		return fmt.Errorf("job %d: deadline %d unreachable (earliest end %d)", r.ID, r.Deadline, r.Start.Add(r.Duration))
+	case r.DeltaT < 0 || r.MaxAttempts < 0:
+		return fmt.Errorf("job %d: negative QoS overrides", r.ID)
+	}
+	return nil
+}
+
+// Allocation records the outcome of a successfully scheduled request: where
+// and when the job will run.
+type Allocation struct {
+	Job      Request
+	Servers  []int           // the n_r servers granted to the job
+	Start    period.Time     // actual start time (>= Job.Start)
+	End      period.Time     // Start + Job.Duration
+	Attempts int             // number of scheduling attempts consumed (>= 1)
+	Wait     period.Duration // Start - Job.Start: the waiting time W_r of §5
+}
+
+// TemporalPenalty returns P^l_r = W_r / l_r, the fairness metric of §5:
+// waiting time normalized to job duration.
+func (a Allocation) TemporalPenalty() float64 {
+	if a.Job.Duration == 0 {
+		return 0
+	}
+	return float64(a.Wait) / float64(a.Job.Duration)
+}

@@ -1,0 +1,82 @@
+package job
+
+import (
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+func valid() Request {
+	return Request{
+		ID:       1,
+		Submit:   100,
+		Start:    200,
+		Duration: period.Hour,
+		Servers:  4,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	r := valid()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r.RunTime = 30 * period.Minute
+	r.Deadline = r.Start.Add(2 * period.Hour)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"zero servers", func(r *Request) { r.Servers = 0 }},
+		{"negative servers", func(r *Request) { r.Servers = -2 }},
+		{"zero duration", func(r *Request) { r.Duration = 0 }},
+		{"start before submit", func(r *Request) { r.Start = r.Submit - 1 }},
+		{"run time above estimate", func(r *Request) { r.RunTime = r.Duration + 1 }},
+		{"negative run time", func(r *Request) { r.RunTime = -1 }},
+		{"unreachable deadline", func(r *Request) { r.Deadline = r.Start.Add(r.Duration) - 1 }},
+	}
+	for _, c := range cases {
+		r := valid()
+		c.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, r)
+		}
+	}
+}
+
+func TestAdvanceReservation(t *testing.T) {
+	r := valid()
+	if !r.AdvanceReservation() {
+		t.Fatal("Start > Submit should be an AR")
+	}
+	r.Start = r.Submit
+	if r.AdvanceReservation() {
+		t.Fatal("Start == Submit should not be an AR")
+	}
+}
+
+func TestEnd(t *testing.T) {
+	r := valid()
+	if got := r.End(); got != r.Start.Add(r.Duration) {
+		t.Fatalf("End = %d", got)
+	}
+}
+
+func TestTemporalPenalty(t *testing.T) {
+	a := Allocation{
+		Job:  Request{Duration: 2 * period.Hour},
+		Wait: period.Hour,
+	}
+	if got := a.TemporalPenalty(); got != 0.5 {
+		t.Fatalf("penalty = %v, want 0.5", got)
+	}
+	if got := (Allocation{}).TemporalPenalty(); got != 0 {
+		t.Fatalf("zero-duration penalty = %v", got)
+	}
+}

@@ -1,0 +1,78 @@
+package lambda
+
+import (
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+func TestAssignmentPolicyValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{Wavelengths: 2, Assignment: "bogus"}); err == nil {
+		t.Fatal("bogus assignment policy accepted")
+	}
+	for _, a := range []string{"", "firstfit", "mostused", "random"} {
+		if _, err := NewNetwork(Config{Wavelengths: 2, Assignment: a}); err != nil {
+			t.Fatalf("policy %q rejected: %v", a, err)
+		}
+	}
+}
+
+func TestFirstFitPicksLowestWavelength(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 4})
+	conn, err := n.Reserve(0, "a", "b", 0, period.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := conn.Wavelengths(); len(ws) != 1 || ws[0] != 0 {
+		t.Fatalf("first fit chose %v, want lambda 0", ws)
+	}
+}
+
+func TestMostUsedConcentratesLoad(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 4, Assignment: "mostused"})
+	// First connection on a-b; second on the disjoint link d-e must reuse
+	// the same wavelength, because most-used prefers the already-loaded one.
+	c1, err := n.Reserve(0, "a", "b", 0, period.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Reserve(0, "d", "e", 0, period.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Wavelengths()[0] != c2.Wavelengths()[0] {
+		t.Fatalf("most-used spread load: %v vs %v", c1.Wavelengths(), c2.Wavelengths())
+	}
+}
+
+func TestRandomAssignmentDeterministicPerSeed(t *testing.T) {
+	build := func(seed int64) []int {
+		n := testNet(t, Config{Wavelengths: 8, Assignment: "random", Seed: seed})
+		var ws []int
+		for i := 0; i < 6; i++ {
+			conn, err := n.Reserve(0, "a", "b", 0, period.Hour, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws = append(ws, conn.Wavelengths()[0])
+		}
+		return ws
+	}
+	a, b := build(1), build(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random assignment not deterministic for a fixed seed")
+		}
+	}
+	c := build(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random assignments")
+	}
+}

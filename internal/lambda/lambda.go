@@ -1,0 +1,483 @@
+// Package lambda implements the paper's second motivating application
+// (§3.2): scheduling link wavelengths in an optical Grid. A lightpath
+// request names a source and destination node, a time window, and a
+// duration; the scheduler must find a path and a wavelength that is free on
+// *every* link of the path for the whole window — wavelengths on all links
+// must be allocated and de-allocated simultaneously, which makes this a
+// resource co-allocation problem.
+//
+// Each link carries W wavelengths and is backed by one slot calendar
+// (internal/core): wavelength w on link l is "server" w of l's scheduler.
+// The range-search feature of §4.2 is exactly what the path computation
+// needs: one non-committing search per link yields the set of free
+// wavelengths, and intersecting those sets across the path's links
+// enforces the wavelength-continuity constraint. With wavelength
+// conversion enabled the intersection is skipped and each link picks any
+// free wavelength.
+package lambda
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"coalloc/internal/core"
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Wavelengths is W, the number of wavelengths per link.
+	Wavelengths int
+	// SlotSize, Slots, DeltaT, MaxAttempts mirror the core scheduler knobs
+	// (defaults: 15 min, 672, SlotSize, Slots/2).
+	SlotSize    period.Duration
+	Slots       int
+	DeltaT      period.Duration
+	MaxAttempts int
+	// Conversion enables wavelength conversion at every node: continuity
+	// is no longer required and each link may use a different wavelength.
+	Conversion bool
+	// Assignment selects among free wavelengths: "firstfit" (default,
+	// lowest index), "mostused" (the classic most-used heuristic, which
+	// packs load onto few wavelengths to keep others contiguous), or
+	// "random" (seeded by Seed).
+	Assignment string
+	// Seed drives the "random" assignment policy.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SlotSize <= 0 {
+		c.SlotSize = 15 * period.Minute
+	}
+	if c.Slots <= 0 {
+		c.Slots = 672
+	}
+	if c.DeltaT <= 0 {
+		c.DeltaT = c.SlotSize
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = c.Slots / 2
+	}
+	if c.Assignment == "" {
+		c.Assignment = "firstfit"
+	}
+}
+
+// Link identifies an undirected edge between two nodes; Key() canonicalizes
+// the endpoint order.
+type Link struct {
+	A, B string
+}
+
+// Key returns the canonical form of the link.
+func (l Link) Key() Link {
+	if l.B < l.A {
+		return Link{A: l.B, B: l.A}
+	}
+	return l
+}
+
+// String renders "a-b".
+func (l Link) String() string { return l.A + "-" + l.B }
+
+// Hop is one reserved link of a connection, with the wavelength used on it.
+type Hop struct {
+	Link       Link
+	Wavelength int
+}
+
+// Connection is a committed lightpath.
+type Connection struct {
+	Path     []string // node sequence, len >= 2
+	Hops     []Hop    // one per link, in path order
+	Start    period.Time
+	End      period.Time
+	Attempts int
+
+	connID int64 // reservation handle used by Teardown
+}
+
+// Wavelengths returns the distinct wavelengths used (1 without conversion).
+func (c Connection) Wavelengths() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, h := range c.Hops {
+		if !seen[h.Wavelength] {
+			seen[h.Wavelength] = true
+			out = append(out, h.Wavelength)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ErrNoLightpath is returned when no path/wavelength combination satisfies
+// the request within the retry budget.
+var ErrNoLightpath = errors.New("lambda: no feasible path and wavelength")
+
+// Network is an optical topology with per-link wavelength calendars. It is
+// not safe for concurrent use.
+type Network struct {
+	cfg   Config
+	now   period.Time
+	adj   map[string][]string
+	links map[Link]*core.Scheduler
+	// allocs remembers each hop's allocation so a connection can be torn
+	// down early.
+	allocs map[allocKey]allocVal
+	nextID int64
+
+	// usage counts how often each wavelength has been assigned, for the
+	// most-used policy.
+	usage []uint64
+	rng   *rand.Rand
+}
+
+// chooseWavelength applies the configured assignment policy to a non-empty
+// candidate set (sorted ascending).
+func (n *Network) chooseWavelength(candidates []int) int {
+	switch n.cfg.Assignment {
+	case "mostused":
+		best := candidates[0]
+		for _, w := range candidates[1:] {
+			if n.usage[w] > n.usage[best] {
+				best = w
+			}
+		}
+		return best
+	case "random":
+		return candidates[n.rng.Intn(len(candidates))]
+	default: // firstfit
+		return candidates[0]
+	}
+}
+
+type allocKey struct {
+	link Link
+	id   int64
+}
+
+type allocVal struct {
+	sched *core.Scheduler
+	alloc job.Allocation
+}
+
+// NewNetwork creates an empty topology.
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg.applyDefaults()
+	if cfg.Wavelengths <= 0 {
+		return nil, errors.New("lambda: Wavelengths must be positive")
+	}
+	switch cfg.Assignment {
+	case "firstfit", "mostused", "random":
+	default:
+		return nil, fmt.Errorf("lambda: unknown assignment policy %q", cfg.Assignment)
+	}
+	return &Network{
+		cfg:    cfg,
+		adj:    make(map[string][]string),
+		links:  make(map[Link]*core.Scheduler),
+		allocs: make(map[allocKey]allocVal),
+		usage:  make([]uint64, cfg.Wavelengths),
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+	}, nil
+}
+
+// AddLink registers an undirected link between two nodes, creating its
+// wavelength calendar. Adding a duplicate link is an error.
+func (n *Network) AddLink(a, b string) error {
+	if a == "" || b == "" || a == b {
+		return fmt.Errorf("lambda: invalid link %q-%q", a, b)
+	}
+	key := Link{A: a, B: b}.Key()
+	if _, dup := n.links[key]; dup {
+		return fmt.Errorf("lambda: duplicate link %s", key)
+	}
+	sched, err := core.New(core.Config{
+		Servers:  n.cfg.Wavelengths,
+		SlotSize: n.cfg.SlotSize,
+		Slots:    n.cfg.Slots,
+		DeltaT:   n.cfg.DeltaT,
+	}, n.now)
+	if err != nil {
+		return err
+	}
+	n.links[key] = sched
+	n.adj[a] = append(n.adj[a], b)
+	n.adj[b] = append(n.adj[b], a)
+	return nil
+}
+
+// Nodes returns the node names in sorted order.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.adj))
+	for v := range n.adj {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Links returns the link keys in sorted order.
+func (n *Network) Links() []Link {
+	out := make([]Link, 0, len(n.links))
+	for l := range n.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Advance moves the network clock (all link calendars) forward.
+func (n *Network) Advance(now period.Time) {
+	if now <= n.now {
+		return
+	}
+	n.now = now
+	for _, s := range n.links {
+		s.Advance(now)
+	}
+}
+
+// Paths enumerates up to k loop-free paths from src to dst, shortest first,
+// considering only paths at most two hops longer than the shortest. This is
+// the "customized routing" §4 invites users to run over range-search
+// results.
+func (n *Network) Paths(src, dst string, k int) [][]string {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	shortest := n.bfsDistance(src, dst)
+	if shortest < 0 {
+		return nil
+	}
+	maxLen := shortest + 2
+	var out [][]string
+	path := []string{src}
+	onPath := map[string]bool{src: true}
+	var dfs func(v string)
+	dfs = func(v string) {
+		if len(out) >= k*4 { // gather extra, trim after sorting
+			return
+		}
+		if v == dst {
+			cp := append([]string(nil), path...)
+			out = append(out, cp)
+			return
+		}
+		if len(path)-1 >= maxLen {
+			return
+		}
+		neigh := append([]string(nil), n.adj[v]...)
+		sort.Strings(neigh)
+		for _, w := range neigh {
+			if onPath[w] {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			dfs(w)
+			path = path[:len(path)-1]
+			delete(onPath, w)
+		}
+	}
+	dfs(src)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (n *Network) bfsDistance(src, dst string) int {
+	if _, ok := n.adj[src]; !ok {
+		return -1
+	}
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dst {
+			return dist[v]
+		}
+		for _, w := range n.adj[v] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// pathLinks resolves a node sequence into link keys, erroring on edges that
+// do not exist.
+func (n *Network) pathLinks(path []string) ([]Link, error) {
+	if len(path) < 2 {
+		return nil, errors.New("lambda: path needs at least two nodes")
+	}
+	links := make([]Link, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		key := Link{A: path[i-1], B: path[i]}.Key()
+		if _, ok := n.links[key]; !ok {
+			return nil, fmt.Errorf("lambda: no link %s", key)
+		}
+		links = append(links, key)
+	}
+	return links, nil
+}
+
+// AvailableWavelengths returns the wavelengths free on every link of the
+// path throughout [start, end) — the range-search intersection enforcing
+// wavelength continuity.
+func (n *Network) AvailableWavelengths(path []string, start, end period.Time) ([]int, error) {
+	links, err := n.pathLinks(path)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	for _, l := range links {
+		for _, p := range n.links[l].RangeSearch(start, end) {
+			counts[p.Server]++
+		}
+	}
+	var out []int
+	for w, c := range counts {
+		if c == len(links) {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Reserve finds a path and wavelength(s) for a lightpath from src to dst of
+// the given duration, starting no earlier than start, and commits them on
+// every link atomically (all hops or none). On failure it slides the window
+// by Δt, like §4.2. Up to k candidate paths are considered per window.
+func (n *Network) Reserve(now period.Time, src, dst string, start period.Time, dur period.Duration, k int) (Connection, error) {
+	if dur <= 0 {
+		return Connection{}, errors.New("lambda: duration must be positive")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	n.Advance(now)
+	if start < n.now {
+		start = n.now
+	}
+	paths := n.Paths(src, dst, k)
+	if len(paths) == 0 {
+		return Connection{}, fmt.Errorf("lambda: no path from %s to %s", src, dst)
+	}
+	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
+		end := start.Add(dur)
+		for _, path := range paths {
+			conn, ok := n.tryPath(path, start, end)
+			if ok {
+				conn.Attempts = attempt
+				return conn, nil
+			}
+		}
+		start = start.Add(n.cfg.DeltaT)
+	}
+	return Connection{}, ErrNoLightpath
+}
+
+// tryPath attempts to commit the window on one path; all hops or none.
+func (n *Network) tryPath(path []string, start, end period.Time) (Connection, bool) {
+	links, err := n.pathLinks(path)
+	if err != nil {
+		return Connection{}, false
+	}
+	var hops []Hop
+	if n.cfg.Conversion {
+		// Any free wavelength per link, chosen by the assignment policy.
+		for _, l := range links {
+			free := n.links[l].RangeSearch(start, end)
+			if len(free) == 0 {
+				return Connection{}, false
+			}
+			cand := make([]int, 0, len(free))
+			for _, p := range free {
+				cand = append(cand, p.Server)
+			}
+			sort.Ints(cand)
+			hops = append(hops, Hop{Link: l, Wavelength: n.chooseWavelength(cand)})
+		}
+	} else {
+		ws, err := n.AvailableWavelengths(path, start, end)
+		if err != nil || len(ws) == 0 {
+			return Connection{}, false
+		}
+		w := n.chooseWavelength(ws)
+		for _, l := range links {
+			hops = append(hops, Hop{Link: l, Wavelength: w})
+		}
+	}
+	// Commit each hop via Claim (the chosen wavelength, exactly); roll back
+	// on any failure so the reservation is atomic across the path.
+	n.nextID++
+	id := n.nextID
+	committed := make([]allocKey, 0, len(hops))
+	for _, h := range hops {
+		sched := n.links[h.Link]
+		alloc, err := sched.Claim(h.Wavelength, start, end)
+		if err != nil {
+			// The snapshot said this must succeed; roll back whatever was
+			// already committed and report the window as infeasible.
+			for _, k := range committed {
+				v := n.allocs[k]
+				_ = v.sched.Release(v.alloc, v.alloc.Start)
+				delete(n.allocs, k)
+			}
+			return Connection{}, false
+		}
+		key := allocKey{link: h.Link, id: id}
+		n.allocs[key] = allocVal{sched: sched, alloc: alloc}
+		committed = append(committed, key)
+		n.usage[h.Wavelength]++
+	}
+	return Connection{Path: path, Hops: hops, Start: start, End: end, connID: id}, true
+}
+
+// Teardown releases a connection early (at < End), freeing the wavelength
+// on every link of the path — simultaneous de-allocation, per §3.2.
+func (n *Network) Teardown(conn Connection, at period.Time) error {
+	if conn.connID == 0 {
+		return errors.New("lambda: connection was not reserved by this network")
+	}
+	var firstErr error
+	for _, h := range conn.Hops {
+		key := allocKey{link: h.Link, id: conn.connID}
+		v, ok := n.allocs[key]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("lambda: hop %s not found", h.Link)
+			}
+			continue
+		}
+		if err := v.sched.Release(v.alloc, at); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(n.allocs, key)
+	}
+	return firstErr
+}
+
+// Utilization returns mean committed capacity across links over [a, b).
+func (n *Network) Utilization(a, b period.Time) float64 {
+	if len(n.links) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range n.links {
+		sum += s.Utilization(a, b)
+	}
+	return sum / float64(len(n.links))
+}

@@ -1,0 +1,250 @@
+package lambda
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+// testNet builds the classic NSF-like 6-node ring-with-chords topology:
+//
+//	a — b — c
+//	|   |   |
+//	d — e — f
+func testNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "d"}, {"b", "e"}, {"c", "f"}, {"d", "e"}, {"e", "f"}} {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestTopologyBasics(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 4})
+	if got := n.Nodes(); len(got) != 6 {
+		t.Fatalf("nodes = %v", got)
+	}
+	if got := n.Links(); len(got) != 7 {
+		t.Fatalf("links = %v", got)
+	}
+	if err := n.AddLink("a", "b"); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if err := n.AddLink("x", "x"); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestPathsShortestFirst(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 4})
+	paths := n.Paths("a", "f", 3)
+	if len(paths) == 0 {
+		t.Fatal("no paths found")
+	}
+	// Shortest a->f is 3 hops (a-b-c-f, a-b-e-f, a-d-e-f).
+	if got := len(paths[0]) - 1; got != 3 {
+		t.Fatalf("shortest path %v has %d hops, want 3", paths[0], got)
+	}
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i]) < len(paths[i-1]) {
+			t.Fatalf("paths not sorted by length: %v", paths)
+		}
+	}
+	if got := n.Paths("a", "zz", 3); got != nil {
+		t.Fatalf("paths to unknown node = %v", got)
+	}
+	if got := n.Paths("a", "a", 3); got != nil {
+		t.Fatalf("paths to self = %v", got)
+	}
+}
+
+func TestReserveWavelengthContinuity(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 2})
+	conn, err := n.Reserve(0, "a", "f", 0, period.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Hops) != len(conn.Path)-1 {
+		t.Fatalf("connection %+v has mismatched hops", conn)
+	}
+	ws := conn.Wavelengths()
+	if len(ws) != 1 {
+		t.Fatalf("continuity violated: wavelengths %v", ws)
+	}
+	// The wavelength is now busy on every hop of the path.
+	for _, h := range conn.Hops {
+		free, err := n.AvailableWavelengths([]string{h.Link.A, h.Link.B}, conn.Start, conn.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range free {
+			if w == ws[0] {
+				t.Fatalf("wavelength %d still free on %s", w, h.Link)
+			}
+		}
+	}
+}
+
+func TestReserveExhaustionAndRetry(t *testing.T) {
+	// One wavelength only: the second identical request must slide by Δt.
+	cfg := Config{Wavelengths: 1, SlotSize: 15 * period.Minute, Slots: 96}
+	n := testNet(t, cfg)
+	first, err := n.Reserve(0, "a", "b", 0, period.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := n.Reserve(0, "a", "b", 0, period.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Start < first.End {
+		t.Fatalf("second lightpath overlaps first: %+v vs %+v", second, first)
+	}
+	if second.Attempts < 2 {
+		t.Fatalf("second reservation attempts = %d, want >= 2", second.Attempts)
+	}
+}
+
+func TestReserveAlternatePath(t *testing.T) {
+	// Block the direct path's wavelength; the scheduler must route around.
+	cfg := Config{Wavelengths: 1}
+	n := testNet(t, cfg)
+	// Occupy a-b for the window (the only 1-hop path component a->b).
+	if _, err := n.Reserve(0, "a", "b", 0, period.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Reserve(0, "a", "b", 0, period.Hour, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Start != 0 {
+		t.Fatalf("expected an immediate alternate route, got start %d via %v", conn.Start, conn.Path)
+	}
+	if len(conn.Path) <= 2 {
+		t.Fatalf("expected a detour path, got %v", conn.Path)
+	}
+}
+
+func TestWavelengthConversion(t *testing.T) {
+	cfg := Config{Wavelengths: 2, Conversion: true}
+	n := testNet(t, cfg)
+	// Fragment the wavelengths: reserve lambda 0 on a-b and lambda 1 on b-c
+	// via claims through two 1-hop connections... easiest: two direct
+	// reservations that collide on different links.
+	if _, err := n.Reserve(0, "a", "b", 0, period.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Reserve(0, "a", "b", 0, period.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	// a-b is now full on both wavelengths; the a->c request must detour or
+	// slide, but with conversion it may stitch different wavelengths.
+	conn, err := n.Reserve(0, "a", "c", 0, period.Hour, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Hops) == 0 {
+		t.Fatalf("empty connection %+v", conn)
+	}
+}
+
+func TestTeardownFreesAllHops(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 1})
+	conn, err := n.Reserve(0, "a", "f", 0, 4*period.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Teardown(conn, period.Time(period.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// The same path is immediately reservable after the teardown instant.
+	conn2, err := n.Reserve(period.Time(period.Hour), "a", "f", period.Time(period.Hour), period.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn2.Start != period.Time(period.Hour) {
+		t.Fatalf("post-teardown reservation starts at %d", conn2.Start)
+	}
+	// Tearing down an unknown connection errors.
+	if err := n.Teardown(Connection{}, 0); err == nil {
+		t.Fatal("teardown of foreign connection accepted")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	n := testNet(t, Config{Wavelengths: 1})
+	if _, err := n.Reserve(0, "a", "f", 0, 0, 3); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := n.Reserve(0, "a", "nope", 0, period.Hour, 3); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	cfg := Config{Wavelengths: 1, MaxAttempts: 2, Slots: 8, SlotSize: 15 * period.Minute}
+	tiny, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.AddLink("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Reserve(0, "x", "y", 0, period.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Second request cannot fit within 2 attempts on a saturated link.
+	if _, err := tiny.Reserve(0, "x", "y", 0, period.Hour, 1); !errors.Is(err, ErrNoLightpath) {
+		t.Fatalf("err = %v, want ErrNoLightpath", err)
+	}
+}
+
+// TestRandomizedNoDoubleLambda floods the network and verifies no
+// (link, wavelength) is double-booked by cross-checking all connections.
+func TestRandomizedNoDoubleLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := testNet(t, Config{Wavelengths: 3})
+	nodes := n.Nodes()
+	var conns []Connection
+	now := period.Time(0)
+	for i := 0; i < 200; i++ {
+		now += period.Time(rng.Int63n(int64(20 * period.Minute)))
+		src := nodes[rng.Intn(len(nodes))]
+		dst := nodes[rng.Intn(len(nodes))]
+		if src == dst {
+			continue
+		}
+		start := now + period.Time(rng.Int63n(int64(2*period.Hour)))
+		conn, err := n.Reserve(now, src, dst, start, period.Duration(1+rng.Int63n(int64(3*period.Hour))), 3)
+		if err != nil {
+			if errors.Is(err, ErrNoLightpath) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		conns = append(conns, conn)
+	}
+	if len(conns) < 20 {
+		t.Fatalf("only %d connections established", len(conns))
+	}
+	for i := 0; i < len(conns); i++ {
+		for j := i + 1; j < len(conns); j++ {
+			a, b := conns[i], conns[j]
+			if a.Start >= b.End || b.Start >= a.End {
+				continue
+			}
+			for _, ha := range a.Hops {
+				for _, hb := range b.Hops {
+					if ha.Link == hb.Link && ha.Wavelength == hb.Wavelength {
+						t.Fatalf("lambda %d on %s double-booked by %+v and %+v", ha.Wavelength, ha.Link, a, b)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package metrics provides the statistics machinery behind the paper's
+// evaluation (§5): waiting time W_r, temporal penalty P^l_r = W_r/l_r,
+// spatial penalty (mean wait per width bucket), frequency distributions, and
+// attempt/operation accounting. Everything is plain accumulation — no
+// external dependencies — and deterministic.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count, mean, variance (Welford), min, and max of a
+// stream of observations.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (s Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance.
+func (s Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (s Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s Summary) Max() float64 { return s.max }
+
+// String renders a compact summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Histogram counts observations into fixed-width bins starting at zero.
+// Negative observations clamp into bin 0; observations beyond the last bin
+// clamp into the overflow (last) bin, so Frequencies always sums to 1 when
+// nonempty.
+type Histogram struct {
+	width  float64
+	counts []int
+	total  int
+	sum    Summary
+}
+
+// NewHistogram creates a histogram of `bins` bins of the given width.
+func NewHistogram(width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("metrics: histogram needs positive width and bins")
+	}
+	return &Histogram{width: width, counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(x / h.width)
+	if x < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	h.sum.Add(x)
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.total }
+
+// BinWidth returns the bin width.
+func (h *Histogram) BinWidth() float64 { return h.width }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the raw count of bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Frequency returns the fraction of observations in bin i.
+func (h *Histogram) Frequency(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Frequencies returns the normalized histogram.
+func (h *Histogram) Frequencies() []float64 {
+	out := make([]float64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.Frequency(i)
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution at each bin upper edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	run := 0.0
+	for i := range h.counts {
+		run += h.Frequency(i)
+		out[i] = run
+	}
+	return out
+}
+
+// Summary returns the running summary of the raw observations.
+func (h *Histogram) Summary() Summary { return h.sum }
+
+// Buckets groups observations by a bucketed key (e.g. job width in groups of
+// 50 servers, as in Table 2) and keeps a Summary per bucket.
+type Buckets struct {
+	width   float64
+	buckets map[int]*Summary
+}
+
+// NewBuckets creates a bucketed accumulator with the given key width.
+func NewBuckets(width float64) *Buckets {
+	if width <= 0 {
+		panic("metrics: bucket width must be positive")
+	}
+	return &Buckets{width: width, buckets: make(map[int]*Summary)}
+}
+
+// Add records observation value under bucket key(k).
+func (b *Buckets) Add(k, value float64) {
+	i := b.index(k)
+	s, ok := b.buckets[i]
+	if !ok {
+		s = &Summary{}
+		b.buckets[i] = s
+	}
+	s.Add(value)
+}
+
+func (b *Buckets) index(k float64) int {
+	if k <= 0 {
+		return 0
+	}
+	// Bucket i covers (i*width, (i+1)*width], matching the paper's
+	// "(0:50], (50:100], …" grouping.
+	return int(math.Ceil(k/b.width)) - 1
+}
+
+// Width returns the bucket key width.
+func (b *Buckets) Width() float64 { return b.width }
+
+// Bucket returns the summary for bucket i (nil if empty — the paper's "—").
+func (b *Buckets) Bucket(i int) *Summary { return b.buckets[i] }
+
+// Indices returns the populated bucket indices in ascending order.
+func (b *Buckets) Indices() []int {
+	out := make([]int, 0, len(b.buckets))
+	for i := range b.buckets {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Label renders bucket i as the paper prints it: "(lo:hi]".
+func (b *Buckets) Label(i int) string {
+	lo := float64(i) * b.width
+	hi := float64(i+1) * b.width
+	return fmt.Sprintf("(%g:%g]", lo, hi)
+}
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²) of the values:
+// 1 means perfectly even treatment, 1/n means one value dominates. Values
+// must be non-negative; an empty or all-zero input returns 1 (vacuously
+// fair).
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Series is an ordered (x, y) sequence used to print figure data.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends one point.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Fatal("zero Summary not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("extrema = %v, %v", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("summary over negatives: %v", s.String())
+	}
+}
+
+// TestQuickSummaryMatchesNaive: Welford accumulation agrees with the naive
+// two-pass formulas.
+func TestQuickSummaryMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		naiveVar := varSum / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-naiveVar) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(2, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 100, -3} {
+		h.Add(x)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// bins: [0,2): {0, 1.9, -3(clamped)}; [2,4): {2}; [4,6): {5}; overflow: {100}.
+	if h.Count(0) != 3 || h.Count(1) != 1 || h.Count(2) != 1 || h.Count(4) != 1 {
+		t.Fatalf("counts = %v", h.Frequencies())
+	}
+	total := 0.0
+	for _, f := range h.Frequencies() {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %v", total)
+	}
+	cdf := h.CDF()
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-12 {
+		t.Fatalf("CDF does not end at 1: %v", cdf)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatalf("CDF not monotone: %v", cdf)
+		}
+	}
+	if h.BinWidth() != 2 || h.Bins() != 5 {
+		t.Fatal("metadata lost")
+	}
+	if h.Summary().N() != 6 {
+		t.Fatal("summary not tracked")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram config accepted")
+		}
+	}()
+	NewHistogram(0, 5)
+}
+
+func TestBuckets(t *testing.T) {
+	b := NewBuckets(50)
+	// Paper convention: (0:50] is bucket 0, (50:100] bucket 1, …
+	b.Add(1, 10)
+	b.Add(50, 20)
+	b.Add(51, 99)
+	b.Add(100, 101)
+	if got := b.Bucket(0); got == nil || got.N() != 2 || got.Mean() != 15 {
+		t.Fatalf("bucket 0 = %v", got)
+	}
+	if got := b.Bucket(1); got == nil || got.N() != 2 || got.Mean() != 100 {
+		t.Fatalf("bucket 1 = %v", got)
+	}
+	if b.Bucket(5) != nil {
+		t.Fatal("empty bucket not nil")
+	}
+	if got := b.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("indices = %v", got)
+	}
+	if got := b.Label(1); got != "(50:100]" {
+		t.Fatalf("label = %q", got)
+	}
+	if b.Width() != 50 {
+		t.Fatal("width lost")
+	}
+	// Non-positive keys clamp into bucket 0.
+	b.Add(0, 1)
+	b.Add(-10, 1)
+	if got := b.Bucket(0); got.N() != 4 {
+		t.Fatalf("clamped keys missing: N = %d", got.N())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.AddPoint(1, 2)
+	s.AddPoint(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}

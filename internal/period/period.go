@@ -1,0 +1,135 @@
+// Package period defines the temporal primitives shared by every layer of
+// the co-allocation system: simulation time, durations, and the idle period —
+// the unit of resource availability that the scheduler's 2-dimensional trees
+// organize (Castillo et al., HPDC'09, §4.1).
+//
+// Simulation time is an integer number of seconds since an arbitrary epoch.
+// Using integers keeps the simulator fully deterministic and free of
+// floating-point drift; nothing in the system depends on wall-clock time.
+package period
+
+// Time is a point in simulated time, in seconds since the simulation epoch.
+type Time int64
+
+// Duration is a span of simulated time in seconds.
+type Duration int64
+
+// Common duration units, in seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60 * Second
+	Hour   Duration = 60 * Minute
+	Day    Duration = 24 * Hour
+)
+
+// Infinity is the sentinel end time of a trailing idle period: a server that
+// has no commitments after some point is idle "through the end of the moving
+// horizon". The value is far larger than any horizon yet small enough that
+// Time arithmetic around it cannot overflow int64.
+const Infinity Time = 1 << 60
+
+// Add returns the time d after t, saturating at Infinity so that arithmetic
+// on trailing idle periods stays well-defined.
+func (t Time) Add(d Duration) Time {
+	if t >= Infinity {
+		return Infinity
+	}
+	s := t + Time(d)
+	if s >= Infinity {
+		return Infinity
+	}
+	return s
+}
+
+// Sub returns the duration from u to t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Hours reports the duration in (fractional) hours; used by metric reports.
+func (d Duration) Hours() float64 { return float64(d) / float64(Hour) }
+
+// Minutes reports the duration in (fractional) minutes.
+func (d Duration) Minutes() float64 { return float64(d) / float64(Minute) }
+
+// Period is an idle period: a half-open interval [Start, End) during which
+// Server is uncommitted and therefore available for allocation. End may be
+// Infinity for a trailing idle period that extends through the horizon.
+type Period struct {
+	Server int  // identifier of the server this idle period belongs to
+	Start  Time // first instant the server is idle
+	End    Time // first instant after Start the server is busy again; may be Infinity
+}
+
+// Len returns the length of the period. Trailing periods report a saturated
+// length; callers that care should test Unbounded first.
+func (p Period) Len() Duration {
+	return Duration(p.End - p.Start)
+}
+
+// Unbounded reports whether the period extends through the moving horizon.
+func (p Period) Unbounded() bool { return p.End >= Infinity }
+
+// Empty reports whether the period contains no time at all.
+func (p Period) Empty() bool { return p.End <= p.Start }
+
+// Overlaps reports whether the period intersects the half-open window
+// [lo, hi). An empty period intersects nothing.
+func (p Period) Overlaps(lo, hi Time) bool {
+	return p.Start < hi && p.End > lo && p.End > p.Start
+}
+
+// Contains reports whether the instant t falls inside the period.
+func (p Period) Contains(t Time) bool { return p.Start <= t && t < p.End }
+
+// CandidateFor reports whether the period starts no later than start — the
+// Phase-1 condition of the search algorithm (§4.2).
+func (p Period) CandidateFor(start Time) bool { return p.Start <= start }
+
+// FeasibleFor reports whether a job occupying [start, end) fits entirely
+// inside the period — the full feasibility condition of §4.2.
+func (p Period) FeasibleFor(start, end Time) bool {
+	return p.Start <= start && p.End >= end
+}
+
+// Split carves the allocation [start, end) out of the period and returns the
+// zero, one, or two remainder periods it leaves behind, exactly as described
+// in §4.2: j = (Start, start) and k = (end, End). ok is false if the
+// allocation does not fit inside the period, in which case the period is
+// unchanged and no remainders are produced.
+func (p Period) Split(start, end Time) (left, right Period, ok bool) {
+	if !p.FeasibleFor(start, end) {
+		return Period{}, Period{}, false
+	}
+	left = Period{Server: p.Server, Start: p.Start, End: start}
+	right = Period{Server: p.Server, Start: end, End: p.End}
+	return left, right, true
+}
+
+// Less orders periods for the primary dimension of the 2-d tree: descending
+// start time, with (Server, End) as tie-breakers so the order is total over
+// distinct periods.
+func (p Period) Less(q Period) bool {
+	if p.Start != q.Start {
+		return p.Start > q.Start // descending start
+	}
+	if p.Server != q.Server {
+		return p.Server < q.Server
+	}
+	return p.End < q.End
+}
+
+// EndLess orders periods for the secondary dimension: ascending end time,
+// with (Server, Start) as tie-breakers.
+func (p Period) EndLess(q Period) bool {
+	if p.End != q.End {
+		return p.End < q.End // ascending end
+	}
+	if p.Server != q.Server {
+		return p.Server < q.Server
+	}
+	return p.Start < q.Start
+}
+
+// Equal reports whether two periods are identical in all three fields.
+func (p Period) Equal(q Period) bool {
+	return p.Server == q.Server && p.Start == q.Start && p.End == q.End
+}

@@ -1,0 +1,132 @@
+package period
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	if got := Time(10).Add(5); got != 15 {
+		t.Errorf("Add = %d", got)
+	}
+	if got := Infinity.Add(100); got != Infinity {
+		t.Errorf("Infinity.Add = %d", got)
+	}
+	if got := (Infinity - 1).Add(100); got != Infinity {
+		t.Errorf("near-Infinity Add = %d, want saturation", got)
+	}
+	if got := Time(100).Sub(40); got != 60 {
+		t.Errorf("Sub = %d", got)
+	}
+	if got := (2 * Hour).Hours(); got != 2 {
+		t.Errorf("Hours = %v", got)
+	}
+	if got := (90 * Second).Minutes(); got != 1.5 {
+		t.Errorf("Minutes = %v", got)
+	}
+}
+
+func TestPeriodPredicates(t *testing.T) {
+	p := Period{Server: 1, Start: 10, End: 50}
+	if p.Unbounded() || p.Empty() {
+		t.Fatal("finite non-empty period misclassified")
+	}
+	if !p.Contains(10) || p.Contains(50) || p.Contains(9) {
+		t.Fatal("Contains is not half-open [Start, End)")
+	}
+	if !p.Overlaps(0, 11) || p.Overlaps(50, 60) || p.Overlaps(0, 10) {
+		t.Fatal("Overlaps is not half-open")
+	}
+	if !p.CandidateFor(10) || p.CandidateFor(9) {
+		t.Fatal("CandidateFor must be Start <= s")
+	}
+	if !p.FeasibleFor(10, 50) || p.FeasibleFor(9, 50) || p.FeasibleFor(10, 51) {
+		t.Fatal("FeasibleFor must be containment")
+	}
+	inf := Period{Server: 2, Start: 0, End: Infinity}
+	if !inf.Unbounded() || !inf.FeasibleFor(0, 1<<50) {
+		t.Fatal("unbounded period must be feasible for any finite window")
+	}
+	empty := Period{Server: 3, Start: 5, End: 5}
+	if !empty.Empty() || empty.Overlaps(0, 100) {
+		t.Fatal("empty period must overlap nothing")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	p := Period{Server: 1, Start: 10, End: 50}
+	l, r, ok := p.Split(20, 30)
+	if !ok {
+		t.Fatal("valid split refused")
+	}
+	if l != (Period{Server: 1, Start: 10, End: 20}) || r != (Period{Server: 1, Start: 30, End: 50}) {
+		t.Fatalf("split = %+v, %+v", l, r)
+	}
+	// Splitting at the edges yields empty remainders.
+	l, r, ok = p.Split(10, 50)
+	if !ok || !l.Empty() || !r.Empty() {
+		t.Fatalf("edge split = %+v, %+v, %v", l, r, ok)
+	}
+	if _, _, ok := p.Split(5, 30); ok {
+		t.Fatal("split outside the period accepted")
+	}
+}
+
+func TestOrderingsAreStrictWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]Period, 200)
+	for i := range ps {
+		ps[i] = Period{
+			Server: rng.Intn(8),
+			Start:  Time(rng.Intn(16)),
+			End:    Time(16 + rng.Intn(16)),
+		}
+	}
+	for _, a := range ps {
+		if a.Less(a) || a.EndLess(a) {
+			t.Fatal("ordering not irreflexive")
+		}
+		for _, b := range ps {
+			if a.Equal(b) != (a == b) {
+				t.Fatal("Equal disagrees with ==")
+			}
+			if a != b {
+				if a.Less(b) == b.Less(a) {
+					t.Fatalf("Less not antisymmetric for %+v, %+v", a, b)
+				}
+				if a.EndLess(b) == b.EndLess(a) {
+					t.Fatalf("EndLess not antisymmetric for %+v, %+v", a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickLessTransitive: property — both orderings are transitive.
+func TestQuickLessTransitive(t *testing.T) {
+	gen := func(r int64) Period {
+		rng := rand.New(rand.NewSource(r))
+		return Period{Server: rng.Intn(4), Start: Time(rng.Intn(8)), End: Time(8 + rng.Intn(8))}
+	}
+	f := func(x, y, z int64) bool {
+		a, b, c := gen(x), gen(y), gen(z)
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		if a.EndLess(b) && b.EndLess(c) && !a.EndLess(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenOfUnbounded(t *testing.T) {
+	p := Period{Start: 100, End: Infinity}
+	if p.Len() <= 0 {
+		t.Fatal("unbounded period length must be positive")
+	}
+}

@@ -1,0 +1,127 @@
+// Package seqalloc implements the naive co-allocation strategy the paper's
+// introduction dismisses: treating the request for each resource as an
+// individual transaction and allocating the n_r servers one at a time. Each
+// attempt scans servers sequentially and probes their reservation lists, so
+// its cost grows linearly with the number of servers — the scalability
+// problem the 2-d tree search solves. It exists as an ablation baseline for
+// operation-count comparisons (DESIGN.md, ablation benches).
+package seqalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// Config mirrors the knobs of the online scheduler that matter here.
+type Config struct {
+	Servers     int
+	Horizon     period.Duration // furthest point in the future that may be committed
+	DeltaT      period.Duration // retry increment
+	MaxAttempts int
+}
+
+// Scheduler allocates servers one by one. It is intentionally simple: the
+// value of the package is the operation count of the straightforward
+// approach, not scheduling quality (which matches the online scheduler's
+// placements for identical inputs, since both find the same earliest
+// feasible start).
+type Scheduler struct {
+	cfg  Config
+	now  period.Time
+	busy [][]interval // per-server sorted reservations
+	ops  uint64
+}
+
+type interval struct {
+	start, end period.Time
+}
+
+// New returns a sequential allocator with all servers idle at time now.
+func New(cfg Config, now period.Time) (*Scheduler, error) {
+	if cfg.Servers <= 0 || cfg.Horizon <= 0 || cfg.DeltaT <= 0 || cfg.MaxAttempts <= 0 {
+		return nil, fmt.Errorf("seqalloc: invalid config %+v", cfg)
+	}
+	return &Scheduler{
+		cfg:  cfg,
+		now:  now,
+		busy: make([][]interval, cfg.Servers),
+	}, nil
+}
+
+// Ops returns the cumulative number of elementary operations (server visits
+// and reservation-list probes).
+func (s *Scheduler) Ops() uint64 { return s.ops }
+
+// Now returns the scheduler's clock.
+func (s *Scheduler) Now() period.Time { return s.now }
+
+// idleOver reports whether a server is uncommitted throughout [a, b).
+func (s *Scheduler) idleOver(server int, a, b period.Time) bool {
+	list := s.busy[server]
+	i := sort.Search(len(list), func(k int) bool { return list[k].end > a })
+	s.ops += 4 // binary-search probes
+	return i >= len(list) || list[i].start >= b
+}
+
+// Submit schedules the request by sequentially scanning servers at each
+// candidate start time, retrying at Δt increments like the online
+// scheduler. Allocation is atomic per attempt: either all n_r servers are
+// found at one start time or none are committed.
+func (s *Scheduler) Submit(r job.Request) (job.Allocation, error) {
+	if err := r.Validate(); err != nil {
+		return job.Allocation{}, err
+	}
+	if r.Submit > s.now {
+		s.now = r.Submit
+	}
+	if r.Servers > s.cfg.Servers {
+		return job.Allocation{}, fmt.Errorf("seqalloc: job %d needs %d of %d servers", r.ID, r.Servers, s.cfg.Servers)
+	}
+	start := r.Start
+	if start < s.now {
+		start = s.now
+	}
+	horizonEnd := s.now.Add(s.cfg.Horizon)
+	attempts := 0
+	for attempts < s.cfg.MaxAttempts {
+		end := start.Add(r.Duration)
+		if end > horizonEnd {
+			break
+		}
+		attempts++
+		var chosen []int
+		for srv := 0; srv < s.cfg.Servers && len(chosen) < r.Servers; srv++ {
+			s.ops++ // one server visited
+			if s.idleOver(srv, start, end) {
+				chosen = append(chosen, srv)
+			}
+		}
+		if len(chosen) == r.Servers {
+			for _, srv := range chosen {
+				s.reserve(srv, start, end)
+			}
+			return job.Allocation{
+				Job:      r,
+				Servers:  chosen,
+				Start:    start,
+				End:      end,
+				Attempts: attempts,
+				Wait:     period.Duration(start - r.Start),
+			}, nil
+		}
+		start = start.Add(s.cfg.DeltaT)
+	}
+	return job.Allocation{}, fmt.Errorf("seqalloc: job %d rejected after %d attempts", r.ID, attempts)
+}
+
+func (s *Scheduler) reserve(server int, a, b period.Time) {
+	list := s.busy[server]
+	i := sort.Search(len(list), func(k int) bool { return list[k].start >= a })
+	list = append(list, interval{})
+	copy(list[i+1:], list[i:])
+	list[i] = interval{a, b}
+	s.busy[server] = list
+}

@@ -1,0 +1,129 @@
+package seqalloc
+
+import (
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func testConfig(n int) Config {
+	return Config{
+		Servers:     n,
+		Horizon:     24 * period.Hour,
+		DeltaT:      15 * period.Minute,
+		MaxAttempts: 48,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Servers: 0, Horizon: 1, DeltaT: 1, MaxAttempts: 1},
+		{Servers: 1, Horizon: 0, DeltaT: 1, MaxAttempts: 1},
+		{Servers: 1, Horizon: 1, DeltaT: 0, MaxAttempts: 1},
+		{Servers: 1, Horizon: 1, DeltaT: 1, MaxAttempts: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, 0); err == nil {
+			t.Errorf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSequentialAllocation(t *testing.T) {
+	s, err := New(testConfig(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Servers) != 3 || a.Start != 0 {
+		t.Fatalf("alloc = %+v", a)
+	}
+	// Next wide job must slide past the first.
+	b, err := s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Start != period.Time(period.Hour) {
+		t.Fatalf("second job start = %d, want %d", b.Start, period.Hour)
+	}
+	if b.Attempts < 2 {
+		t.Fatalf("attempts = %d", b.Attempts)
+	}
+}
+
+func TestSequentialRejections(t *testing.T) {
+	s, err := New(testConfig(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 3}); err == nil {
+		t.Fatal("too-wide job accepted")
+	}
+	if _, err := s.Submit(job.Request{ID: 2, Duration: 48 * period.Hour, Servers: 1}); err == nil {
+		t.Fatal("beyond-horizon job accepted")
+	}
+	if _, err := s.Submit(job.Request{ID: 3, Duration: 0, Servers: 1}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}
+
+func TestOpsGrowLinearlyWithServers(t *testing.T) {
+	// The whole point of the baseline: an attempt visits servers one at a
+	// time, so wide requests cost O(N).
+	small, _ := New(testConfig(8), 0)
+	large, _ := New(testConfig(512), 0)
+	small.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 8})
+	large.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 512})
+	if large.Ops() < 10*small.Ops() {
+		t.Fatalf("ops small=%d large=%d: expected linear growth in N", small.Ops(), large.Ops())
+	}
+}
+
+func TestNoDoubleBooking(t *testing.T) {
+	s, _ := New(testConfig(4), 0)
+	var allocs []job.Allocation
+	for i := 0; i < 40; i++ {
+		a, err := s.Submit(job.Request{ID: int64(i), Duration: period.Hour, Servers: 1 + i%3})
+		if err != nil {
+			continue
+		}
+		allocs = append(allocs, a)
+	}
+	for i := range allocs {
+		for j := i + 1; j < len(allocs); j++ {
+			a, b := allocs[i], allocs[j]
+			if a.Start >= b.End || b.Start >= a.End {
+				continue
+			}
+			for _, sa := range a.Servers {
+				for _, sb := range b.Servers {
+					if sa == sb {
+						t.Fatalf("server %d double-booked by %d and %d", sa, a.Job.ID, b.Job.ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClockFollowsSubmissions(t *testing.T) {
+	s, _ := New(testConfig(2), 0)
+	if _, err := s.Submit(job.Request{ID: 1, Submit: 5000, Start: 5000, Duration: period.Hour, Servers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 5000 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+	// A stale-start request is clamped to now.
+	a, err := s.Submit(job.Request{ID: 2, Submit: 5000, Start: 5000, Duration: period.Hour, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start < 5000 {
+		t.Fatalf("start %d before clock", a.Start)
+	}
+}

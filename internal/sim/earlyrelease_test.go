@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+	"coalloc/internal/workload"
+)
+
+func TestEarlyReleaseReclaimsCapacity(t *testing.T) {
+	// One server. Job 1 is estimated at 4 h but runs 1 h; job 2 arrives at
+	// t=1h. With early release job 2 starts immediately; without, it waits
+	// for the full reservation.
+	jobs := []job.Request{
+		{ID: 1, Submit: 0, Start: 0, Duration: 4 * period.Hour, Servers: 1, RunTime: period.Hour},
+		{ID: 2, Submit: period.Time(period.Hour), Start: period.Time(period.Hour), Duration: period.Hour, Servers: 1},
+	}
+	cfg := DefaultCoreConfig(1)
+
+	plain, err := RunOnline(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Results[1].Start; got != period.Time(4*period.Hour) {
+		t.Fatalf("without early release job 2 starts at %d, want 4h", got)
+	}
+
+	early, err := RunOnlineWith(cfg, jobs, OnlineOptions{EarlyRelease: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := early.Results[1].Start; got != period.Time(period.Hour) {
+		t.Fatalf("with early release job 2 starts at %d, want 1h", got)
+	}
+	if early.Results[1].Wait != 0 {
+		t.Fatalf("job 2 wait = %d", early.Results[1].Wait)
+	}
+}
+
+func TestEarlyReleaseImprovesWaits(t *testing.T) {
+	m := workload.KTH()
+	m.MinRunFraction = 0.25
+	jobs := m.Generate(1500, 5)
+
+	plain, err := RunOnline(DefaultCoreConfig(m.Servers), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := RunOnlineWith(DefaultCoreConfig(m.Servers), jobs, OnlineOptions{EarlyRelease: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.MeanWait() > plain.MeanWait() {
+		t.Fatalf("early release raised mean wait: %.0f s vs %.0f s", early.MeanWait(), plain.MeanWait())
+	}
+	if early.AcceptanceRate() < plain.AcceptanceRate() {
+		t.Fatalf("early release lowered acceptance: %.3f vs %.3f", early.AcceptanceRate(), plain.AcceptanceRate())
+	}
+}
+
+func TestEarlyReleaseExactRuntimesIsNoop(t *testing.T) {
+	m := workload.KTH() // MinRunFraction 0: RunTime == Duration
+	jobs := m.Generate(600, 6)
+	plain, err := RunOnline(DefaultCoreConfig(m.Servers), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := RunOnlineWith(DefaultCoreConfig(m.Servers), jobs, OnlineOptions{EarlyRelease: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Results {
+		if plain.Results[i].Start != early.Results[i].Start || plain.Results[i].Accepted != early.Results[i].Accepted {
+			t.Fatalf("job %d diverged with exact run times", i)
+		}
+	}
+}

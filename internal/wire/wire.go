@@ -1,0 +1,208 @@
+// Package wire exposes a grid site over the network and gives brokers a
+// client that satisfies grid.Conn. It uses net/rpc with gob encoding over
+// TCP — each site daemon (cmd/gridd) serves its scheduler, and brokers
+// (cmd/gridctl, examples/multisite) dial the sites they federate. The
+// protocol is exactly the prepare/commit/abort surface of internal/grid, so
+// in-process and remote federations behave identically.
+package wire
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+)
+
+// ServiceName is the RPC service name sites register under.
+const ServiceName = "CoallocSite"
+
+// ProbeArgs asks how many servers are free over a window.
+type ProbeArgs struct {
+	Now, Start, End period.Time
+}
+
+// ProbeReply carries the probed availability.
+type ProbeReply struct {
+	Available int
+}
+
+// PrepareArgs leases servers for a window (2PC phase 1).
+type PrepareArgs struct {
+	Now     period.Time
+	HoldID  string
+	Start   period.Time
+	End     period.Time
+	Servers int
+	Lease   period.Duration
+}
+
+// PrepareReply lists the granted server IDs.
+type PrepareReply struct {
+	Servers []int
+}
+
+// DecideArgs commits or aborts a hold (2PC phase 2).
+type DecideArgs struct {
+	Now    period.Time
+	HoldID string
+}
+
+// DecideReply is empty; errors travel on the RPC error channel.
+type DecideReply struct{}
+
+// InfoArgs requests site metadata.
+type InfoArgs struct{}
+
+// InfoReply describes a site.
+type InfoReply struct {
+	Name    string
+	Servers int
+}
+
+// Service adapts a *grid.Site to net/rpc.
+type Service struct {
+	site *grid.Site
+}
+
+// Probe implements the RPC method.
+func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
+	reply.Available = s.site.Probe(args.Now, args.Start, args.End)
+	return nil
+}
+
+// Prepare implements the RPC method.
+func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
+	servers, err := s.site.Prepare(args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
+	if err != nil {
+		return err
+	}
+	reply.Servers = servers
+	return nil
+}
+
+// Commit implements the RPC method.
+func (s *Service) Commit(args DecideArgs, _ *DecideReply) error {
+	return s.site.Commit(args.Now, args.HoldID)
+}
+
+// Abort implements the RPC method.
+func (s *Service) Abort(args DecideArgs, _ *DecideReply) error {
+	return s.site.Abort(args.Now, args.HoldID)
+}
+
+// Info implements the RPC method.
+func (s *Service) Info(_ InfoArgs, reply *InfoReply) error {
+	reply.Name = s.site.Name()
+	reply.Servers = s.site.Servers()
+	return nil
+}
+
+// Server serves one site to any number of brokers.
+type Server struct {
+	site *grid.Site
+	rpc  *rpc.Server
+
+	mu sync.Mutex
+	l  net.Listener
+}
+
+// NewServer wraps a site for serving.
+func NewServer(site *grid.Site) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, &Service{site: site}); err != nil {
+		return nil, fmt.Errorf("wire: register: %w", err)
+	}
+	return &Server{site: site, rpc: srv}, nil
+}
+
+// Serve accepts connections until the listener is closed. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.l = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.rpc.ServeConn(conn)
+	}
+}
+
+// Close stops accepting new connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.l == nil {
+		return nil
+	}
+	return s.l.Close()
+}
+
+// Client is a broker-side connection to a remote site. It implements
+// grid.Conn.
+type Client struct {
+	name    string
+	servers int
+	c       *rpc.Client
+}
+
+var _ grid.Conn = (*Client)(nil)
+
+// Dial connects to a site daemon and fetches its identity.
+func Dial(network, addr string) (*Client, error) {
+	c, err := rpc.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	var info InfoReply
+	if err := c.Call(ServiceName+".Info", InfoArgs{}, &info); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("wire: info %s: %w", addr, err)
+	}
+	return &Client{name: info.Name, servers: info.Servers, c: c}, nil
+}
+
+// Name implements grid.Conn.
+func (c *Client) Name() string { return c.name }
+
+// Servers implements grid.Conn.
+func (c *Client) Servers() (int, error) { return c.servers, nil }
+
+// Probe implements grid.Conn.
+func (c *Client) Probe(now, start, end period.Time) (int, error) {
+	var reply ProbeReply
+	if err := c.c.Call(ServiceName+".Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Available, nil
+}
+
+// Prepare implements grid.Conn.
+func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	var reply PrepareReply
+	err := c.c.Call(ServiceName+".Prepare", PrepareArgs{
+		Now: now, HoldID: holdID, Start: start, End: end, Servers: servers, Lease: lease,
+	}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Servers, nil
+}
+
+// Commit implements grid.Conn.
+func (c *Client) Commit(now period.Time, holdID string) error {
+	return c.c.Call(ServiceName+".Commit", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+}
+
+// Abort implements grid.Conn.
+func (c *Client) Abort(now period.Time, holdID string) error {
+	return c.c.Call(ServiceName+".Abort", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+)
+
+// siteAddrs records listen addresses by site name so tests can open extra
+// connections to a started site.
+var siteAddrs sync.Map
+
+// startSite serves a fresh site on a loopback listener and returns a
+// connected client.
+func startSite(t *testing.T, name string, servers int) *Client {
+	t.Helper()
+	site, err := grid.NewSite(name, core.Config{
+		Servers:  servers,
+		SlotSize: 15 * period.Minute,
+		Slots:    96,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	siteAddrs.Store(name, l.Addr().String())
+
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestInfoOverRPC(t *testing.T) {
+	c := startSite(t, "remote-a", 6)
+	if c.Name() != "remote-a" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if n, err := c.Servers(); err != nil || n != 6 {
+		t.Fatalf("servers = %d, %v", n, err)
+	}
+}
+
+func TestProtocolOverRPC(t *testing.T) {
+	c := startSite(t, "remote-a", 4)
+	if n, err := c.Probe(0, 0, period.Time(period.Hour)); err != nil || n != 4 {
+		t.Fatalf("probe = %d, %v", n, err)
+	}
+	servers, err := c.Prepare(0, "h1", 0, period.Time(period.Hour), 3, period.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 3 {
+		t.Fatalf("granted %v", servers)
+	}
+	if n, _ := c.Probe(0, 0, period.Time(period.Hour)); n != 1 {
+		t.Fatalf("probe during hold = %d", n)
+	}
+	if err := c.Commit(0, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	// Errors propagate across the wire.
+	if err := c.Commit(0, "h1"); err == nil {
+		t.Fatal("double commit accepted over RPC")
+	}
+	if _, err := c.Prepare(0, "", 0, 10, 1, 10); err == nil {
+		t.Fatal("invalid prepare accepted over RPC")
+	}
+	if err := c.Abort(0, "whatever"); err != nil {
+		t.Fatalf("abort of unknown hold over RPC: %v", err)
+	}
+}
+
+// TestBrokerOverRPC runs the full 2PC across two real TCP sites.
+func TestBrokerOverRPC(t *testing.T) {
+	a := startSite(t, "site-a", 4)
+	b := startSite(t, "site-b", 4)
+	broker, err := grid.NewBroker(grid.BrokerConfig{Strategy: grid.LoadBalance{}}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := broker.CoAllocate(0, grid.Request{ID: 1, Start: 0, Duration: period.Hour, Servers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalServers() != 6 || len(alloc.Shares) != 2 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	// The committed reservations are visible through fresh probes.
+	na, _ := a.Probe(0, alloc.Start, alloc.End)
+	nb, _ := b.Probe(0, alloc.Start, alloc.End)
+	if na+nb != 2 {
+		t.Fatalf("remaining capacity = %d + %d, want 2 total", na, nb)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestClientSurvivesServerRestartError(t *testing.T) {
+	site, err := grid.NewSite("flaky", core.Config{Servers: 2, SlotSize: 900, Slots: 96}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	<-done // Serve returns after Close
+	// The established connection keeps working (its goroutine survives the
+	// listener) …
+	if _, err := c.Probe(0, 0, 100); err != nil {
+		t.Fatalf("probe over established connection: %v", err)
+	}
+	// … but new brokers can no longer join.
+	if _, err := Dial("tcp", l.Addr().String()); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}

@@ -1,0 +1,234 @@
+// Package workflow schedules DAGs of co-allocated stages on top of the
+// online scheduler — the scientific-workflow use case the paper's
+// introduction motivates (§1: "orchestration of multiple computation and
+// data transfer stages … the ability to co-schedule and synchronize
+// resource usage becomes crucial"). Each stage is a co-allocation request;
+// edges are completion-time dependencies. The planner walks the DAG in
+// topological order, reserving every stage as an advance reservation that
+// starts when its dependencies finish; if any stage cannot be placed the
+// whole plan is rolled back, so a workflow is admitted atomically.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"coalloc/internal/core"
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+// Stage is one node of the workflow DAG.
+type Stage struct {
+	Name     string
+	Duration period.Duration
+	Servers  int
+	// After lists stage names that must complete before this stage starts.
+	After []string
+	// Deadline, if non-zero, bounds this stage's completion time.
+	Deadline period.Time
+}
+
+// Workflow is a named DAG of stages.
+type Workflow struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate checks structural soundness: unique names, known dependencies,
+// acyclicity, positive sizes.
+func (w Workflow) Validate() error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("workflow %s: no stages", w.Name)
+	}
+	byName := make(map[string]*Stage, len(w.Stages))
+	for i := range w.Stages {
+		s := &w.Stages[i]
+		if s.Name == "" {
+			return fmt.Errorf("workflow %s: stage %d unnamed", w.Name, i)
+		}
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("workflow %s: duplicate stage %q", w.Name, s.Name)
+		}
+		if s.Duration <= 0 || s.Servers <= 0 {
+			return fmt.Errorf("workflow %s: stage %q needs positive duration and servers", w.Name, s.Name)
+		}
+		byName[s.Name] = s
+	}
+	for _, s := range w.Stages {
+		for _, dep := range s.After {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("workflow %s: stage %q depends on unknown %q", w.Name, s.Name, dep)
+			}
+		}
+	}
+	if _, err := w.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns stage indices in dependency order (Kahn's algorithm,
+// deterministic by name among ready stages).
+func (w Workflow) topoOrder() ([]int, error) {
+	index := make(map[string]int, len(w.Stages))
+	for i, s := range w.Stages {
+		index[s.Name] = i
+	}
+	indeg := make([]int, len(w.Stages))
+	succ := make([][]int, len(w.Stages))
+	for i, s := range w.Stages {
+		for _, dep := range s.After {
+			j := index[dep]
+			succ[j] = append(succ[j], i)
+			indeg[i]++
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return w.Stages[ready[a]].Name < w.Stages[ready[b]].Name })
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if len(order) != len(w.Stages) {
+		return nil, fmt.Errorf("workflow %s: dependency cycle", w.Name)
+	}
+	return order, nil
+}
+
+// CriticalPath returns the stage names of the longest duration-weighted
+// dependency chain and its total duration — the workflow's lower-bound
+// makespan on infinite resources.
+func (w Workflow) CriticalPath() ([]string, period.Duration) {
+	order, err := w.topoOrder()
+	if err != nil {
+		return nil, 0
+	}
+	index := make(map[string]int, len(w.Stages))
+	for i, s := range w.Stages {
+		index[s.Name] = i
+	}
+	finish := make([]period.Duration, len(w.Stages))
+	prev := make([]int, len(w.Stages))
+	for i := range prev {
+		prev[i] = -1
+	}
+	bestEnd, bestIdx := period.Duration(0), -1
+	for _, i := range order {
+		start := period.Duration(0)
+		for _, dep := range w.Stages[i].After {
+			j := index[dep]
+			if finish[j] > start {
+				start = finish[j]
+				prev[i] = j
+			}
+		}
+		finish[i] = start + w.Stages[i].Duration
+		if finish[i] > bestEnd {
+			bestEnd, bestIdx = finish[i], i
+		}
+	}
+	var path []string
+	for i := bestIdx; i >= 0; i = prev[i] {
+		path = append(path, w.Stages[i].Name)
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, bestEnd
+}
+
+// Plan is an admitted workflow: one allocation per stage.
+type Plan struct {
+	Workflow    string
+	Allocations map[string]job.Allocation
+	Start       period.Time // earliest stage start
+	End         period.Time // latest stage end
+}
+
+// Makespan returns End - Start.
+func (p Plan) Makespan() period.Duration { return period.Duration(p.End - p.Start) }
+
+// ErrStageRejected wraps the stage that could not be placed.
+var ErrStageRejected = errors.New("workflow: stage rejected")
+
+// Schedule admits the workflow atomically on the scheduler: every stage is
+// reserved (as an advance reservation timed to its dependencies'
+// completions), or nothing is. Stage IDs are derived from baseID.
+func Schedule(s *core.Scheduler, w Workflow, submit period.Time, baseID int64) (Plan, error) {
+	if err := w.Validate(); err != nil {
+		return Plan{}, err
+	}
+	order, err := w.topoOrder()
+	if err != nil {
+		return Plan{}, err
+	}
+	index := make(map[string]int, len(w.Stages))
+	for i, st := range w.Stages {
+		index[st.Name] = i
+	}
+	plan := Plan{Workflow: w.Name, Allocations: make(map[string]job.Allocation, len(w.Stages))}
+	rollback := func() {
+		for _, a := range plan.Allocations {
+			// Cancel entirely; ignore errors — the scheduler state is the
+			// same calendar we just wrote to.
+			_ = s.Release(a, a.Start)
+		}
+	}
+	first := true
+	for seq, i := range order {
+		st := w.Stages[i]
+		earliest := submit
+		for _, dep := range st.After {
+			if a, ok := plan.Allocations[dep]; ok && a.End > earliest {
+				earliest = a.End
+			}
+		}
+		alloc, err := s.Submit(job.Request{
+			ID:       baseID + int64(seq),
+			Submit:   submit,
+			Start:    earliest,
+			Duration: st.Duration,
+			Servers:  st.Servers,
+			Deadline: st.Deadline,
+		})
+		if err != nil {
+			rollback()
+			return Plan{}, fmt.Errorf("%w: %q: %v", ErrStageRejected, st.Name, err)
+		}
+		plan.Allocations[st.Name] = alloc
+		if first || alloc.Start < plan.Start {
+			plan.Start = alloc.Start
+		}
+		if alloc.End > plan.End {
+			plan.End = alloc.End
+		}
+		first = false
+	}
+	return plan, nil
+}
+
+// Cancel releases every allocation of a previously admitted plan.
+func Cancel(s *core.Scheduler, p Plan) error {
+	var firstErr error
+	for name, a := range p.Allocations {
+		if err := s.Release(a, a.Start); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("workflow %s: cancel stage %q: %v", p.Workflow, name, err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,186 @@
+package workflow
+
+import (
+	"errors"
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/job"
+	"coalloc/internal/period"
+)
+
+func sched(t *testing.T, servers int) *core.Scheduler {
+	t.Helper()
+	s, err := core.New(core.Config{
+		Servers:  servers,
+		SlotSize: 15 * period.Minute,
+		Slots:    96,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// diamond is a classic map/shuffle/reduce shape:
+//
+//	prep -> {map1, map2} -> reduce
+func diamond() Workflow {
+	return Workflow{
+		Name: "diamond",
+		Stages: []Stage{
+			{Name: "prep", Duration: period.Hour, Servers: 1},
+			{Name: "map1", Duration: 2 * period.Hour, Servers: 4, After: []string{"prep"}},
+			{Name: "map2", Duration: period.Hour, Servers: 4, After: []string{"prep"}},
+			{Name: "reduce", Duration: period.Hour, Servers: 2, After: []string{"map1", "map2"}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Workflow{
+		{Name: "empty"},
+		{Name: "dup", Stages: []Stage{
+			{Name: "a", Duration: 1, Servers: 1},
+			{Name: "a", Duration: 1, Servers: 1},
+		}},
+		{Name: "unknown-dep", Stages: []Stage{
+			{Name: "a", Duration: 1, Servers: 1, After: []string{"ghost"}},
+		}},
+		{Name: "cycle", Stages: []Stage{
+			{Name: "a", Duration: 1, Servers: 1, After: []string{"b"}},
+			{Name: "b", Duration: 1, Servers: 1, After: []string{"a"}},
+		}},
+		{Name: "zero-dur", Stages: []Stage{{Name: "a", Duration: 0, Servers: 1}}},
+		{Name: "unnamed", Stages: []Stage{{Duration: 1, Servers: 1}}},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workflow %q accepted", w.Name)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	path, dur := diamond().CriticalPath()
+	// prep(1h) -> map1(2h) -> reduce(1h) = 4h.
+	if dur != 4*period.Hour {
+		t.Fatalf("critical path duration = %v h", dur.Hours())
+	}
+	want := []string{"prep", "map1", "reduce"}
+	if len(path) != len(want) {
+		t.Fatalf("critical path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("critical path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestScheduleRespectsDependencies(t *testing.T) {
+	s := sched(t, 8)
+	plan, err := Schedule(s, diamond(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) (period.Time, period.Time) {
+		a, ok := plan.Allocations[name]
+		if !ok {
+			t.Fatalf("stage %q missing from plan", name)
+		}
+		return a.Start, a.End
+	}
+	prepS, prepE := get("prep")
+	m1S, m1E := get("map1")
+	m2S, m2E := get("map2")
+	rS, _ := get("reduce")
+	if prepS != 0 {
+		t.Fatalf("prep start = %d", prepS)
+	}
+	if m1S < prepE || m2S < prepE {
+		t.Fatal("map stage starts before prep completes")
+	}
+	if rS < m1E || rS < m2E {
+		t.Fatal("reduce starts before maps complete")
+	}
+	// On an idle 8-server system the plan should achieve the critical path.
+	if plan.Makespan() != 4*period.Hour {
+		t.Fatalf("makespan = %v h, want 4", plan.Makespan().Hours())
+	}
+}
+
+func TestScheduleDelaysPropagate(t *testing.T) {
+	s := sched(t, 4)
+	// Occupy the whole system for the first two hours: prep is pushed to
+	// t=2h and everything shifts after it.
+	if _, err := s.Submit(coreReq(1, 0, 2*period.Hour, 4)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Schedule(s, diamond(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Allocations["prep"].Start < period.Time(2*period.Hour) {
+		t.Fatalf("prep start = %d, want >= 2h", plan.Allocations["prep"].Start)
+	}
+	if plan.Allocations["reduce"].Start < plan.Allocations["map1"].End {
+		t.Fatal("delay did not propagate to reduce")
+	}
+}
+
+func TestScheduleAtomicRollback(t *testing.T) {
+	s := sched(t, 4)
+	w := diamond()
+	// Make the reduce stage impossible (wider than the machine): the maps
+	// and prep that were already reserved must be rolled back.
+	w.Stages[3].Servers = 16
+	_, err := Schedule(s, w, 0, 100)
+	if !errors.Is(err, ErrStageRejected) {
+		t.Fatalf("err = %v, want ErrStageRejected", err)
+	}
+	// Everything must be free again.
+	if got := s.Available(0, period.Time(4*period.Hour)); got != 4 {
+		t.Fatalf("%d servers free after rollback, want 4", got)
+	}
+	if st := s.Stats(); st.Releases == 0 {
+		t.Fatal("rollback released nothing")
+	}
+}
+
+func TestCancelPlan(t *testing.T) {
+	s := sched(t, 8)
+	plan, err := Schedule(s, diamond(), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cancel(s, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Available(0, period.Time(4*period.Hour)); got != 8 {
+		t.Fatalf("%d servers free after cancel, want 8", got)
+	}
+}
+
+func TestStageDeadline(t *testing.T) {
+	s := sched(t, 2)
+	// Block everything for 3 hours; a workflow whose only stage must end by
+	// t=2h is rejected outright.
+	if _, err := s.Submit(coreReq(1, 0, 3*period.Hour, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w := Workflow{Name: "dl", Stages: []Stage{
+		{Name: "a", Duration: period.Hour, Servers: 1, Deadline: period.Time(2 * period.Hour)},
+	}}
+	if _, err := Schedule(s, w, 0, 10); !errors.Is(err, ErrStageRejected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// coreReq builds a simple immediate request.
+func coreReq(id int64, start period.Time, dur period.Duration, n int) job.Request {
+	return job.Request{ID: id, Submit: start, Start: start, Duration: dur, Servers: n}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+func TestDiurnalValidation(t *testing.T) {
+	m := KTH()
+	m.DiurnalAmplitude = 1.5
+	if err := m.Validate(); err == nil {
+		t.Fatal("amplitude > 1 accepted")
+	}
+	m.DiurnalAmplitude = -0.1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative amplitude accepted")
+	}
+}
+
+// TestDiurnalCycleShapesArrivals: with a strong cycle, daytime hours must
+// receive substantially more jobs than night hours, while the overall rate
+// stays near the base rate.
+func TestDiurnalCycleShapesArrivals(t *testing.T) {
+	m := KTH()
+	m.DiurnalAmplitude = 0.9
+	jobs := m.Generate(30000, 3)
+
+	var day, night int
+	for _, j := range jobs {
+		hour := (int64(j.Submit) / int64(period.Hour)) % 24
+		switch {
+		case hour >= 11 && hour < 17: // around the 14:00 peak
+			day++
+		case hour >= 23 || hour < 5: // around the 02:00 trough
+			night++
+		}
+	}
+	if day < 3*night {
+		t.Fatalf("diurnal cycle too weak: %d day vs %d night arrivals", day, night)
+	}
+
+	// The mean rate is preserved within ~10 %: thinning does not change the
+	// average intensity.
+	span := float64(jobs[len(jobs)-1].Submit - jobs[0].Submit)
+	gotMean := span / float64(len(jobs)-1)
+	if math.Abs(gotMean-float64(m.MeanInterarrival))/float64(m.MeanInterarrival) > 0.10 {
+		t.Fatalf("mean interarrival %.0f s, want ~%d s", gotMean, m.MeanInterarrival)
+	}
+}
+
+func TestDiurnalZeroAmplitudeUnchanged(t *testing.T) {
+	a := KTH().Generate(500, 9)
+	m := KTH()
+	m.DiurnalAmplitude = 0
+	b := m.Generate(500, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero amplitude changed the stream")
+		}
+	}
+}

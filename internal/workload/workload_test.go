@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+func TestParseSWF(t *testing.T) {
+	const input = `; SWF header comment
+; MaxProcs: 128
+
+1 100 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 1 -1 -1 -1
+2 200 -1 1800 8 -1 -1 -1 -1 -1 1 3 4 -1 1 -1 -1 -1
+3 300 -1 -1 -1 -1 -1 -1 -1 -1 0 3 4 -1 1 -1 -1 -1
+`
+	jobs, err := ParseSWF(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2 (third is unusable)", len(jobs))
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.Submit != 100 || j.Duration != 7200 || j.Servers != 16 || j.RunTime != 3600 {
+		t.Fatalf("job 1 parsed as %+v", j)
+	}
+	// Job 2 falls back to run time and allocated processors.
+	j = jobs[1]
+	if j.Duration != 1800 || j.Servers != 8 || j.RunTime != 1800 {
+		t.Fatalf("job 2 parsed as %+v", j)
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := ParseSWF(strings.NewReader("x 100 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 1 -1 -1 -1\n")); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	jobs := KTH().Generate(500, 1)
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, "synthetic KTH\nseed 1"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d -> %d", len(jobs), len(back))
+	}
+	for i := range jobs {
+		a, b := jobs[i], back[i]
+		if a.ID != b.ID || a.Submit != b.Submit || a.Duration != b.Duration || a.Servers != b.Servers {
+			t.Fatalf("job %d changed: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := CTC().Generate(200, 42)
+	b := CTC().Generate(200, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at job %d", i)
+		}
+	}
+	c := CTC().Generate(200, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	for _, m := range Models() {
+		jobs := m.Generate(2000, 7)
+		if len(jobs) != 2000 {
+			t.Fatalf("%s: generated %d jobs", m.Name, len(jobs))
+		}
+		prev := period.Time(-1)
+		for i, r := range jobs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s job %d: %v", m.Name, i, err)
+			}
+			if r.Submit < prev {
+				t.Fatalf("%s: submissions out of order at %d", m.Name, i)
+			}
+			prev = r.Submit
+			if r.Servers > m.Servers {
+				t.Fatalf("%s job %d: width %d > N %d", m.Name, i, r.Servers, m.Servers)
+			}
+			if r.Duration < m.MinDuration || r.Duration > m.MaxDuration {
+				t.Fatalf("%s job %d: duration %d out of [%d, %d]", m.Name, i, r.Duration, m.MinDuration, m.MaxDuration)
+			}
+			if r.Start != r.Submit {
+				t.Fatalf("%s job %d: generator produced an advance reservation", m.Name, i)
+			}
+		}
+	}
+}
+
+// TestCalibrationAgainstTable1 verifies the generated workloads land near
+// the published trace statistics and the Fig. 4(b) duration-mixture shape.
+func TestCalibrationAgainstTable1(t *testing.T) {
+	cases := []struct {
+		model      Model
+		short2hMin float64
+		short2hMax float64
+	}{
+		{KTH(), 0.45, 0.75},   // Fig 4(b): most KTH jobs are < 2 h
+		{CTC(), 0.08, 0.30},   // Fig 4(b)/§5.1: ~14 % of CTC jobs are < 2 h
+		{HPC2N(), 0.25, 0.60}, // intermediate
+	}
+	for _, tc := range cases {
+		jobs := tc.model.Generate(20000, 11)
+		st := Measure(jobs, tc.model.Servers)
+		if rel := math.Abs(st.AvgDurHours-tc.model.TraceAvgHours) / tc.model.TraceAvgHours; rel > 0.15 {
+			t.Errorf("%s: mean duration %.2f h vs Table 1 %.2f h (%.0f%% off)",
+				tc.model.Name, st.AvgDurHours, tc.model.TraceAvgHours, rel*100)
+		}
+		if st.FracShort2h < tc.short2hMin || st.FracShort2h > tc.short2hMax {
+			t.Errorf("%s: %.0f%% jobs < 2 h, want within [%.0f%%, %.0f%%]",
+				tc.model.Name, st.FracShort2h*100, tc.short2hMin*100, tc.short2hMax*100)
+		}
+		if st.OfferedUtil < 0.5 || st.OfferedUtil > 0.95 {
+			t.Errorf("%s: offered utilization %.2f outside the congested-but-stable regime",
+				tc.model.Name, st.OfferedUtil)
+		}
+	}
+}
+
+func TestKTHShorterThanCTC(t *testing.T) {
+	kth := Measure(KTH().Generate(10000, 3), 128)
+	ctc := Measure(CTC().Generate(10000, 3), 512)
+	if kth.FracShort2h <= ctc.FracShort2h {
+		t.Fatalf("KTH short fraction %.2f not above CTC %.2f: Fig 4(b) shape lost",
+			kth.FracShort2h, ctc.FracShort2h)
+	}
+	if kth.AvgDurHours >= ctc.AvgDurHours {
+		t.Fatalf("KTH mean %.2f h not below CTC %.2f h", kth.AvgDurHours, ctc.AvgDurHours)
+	}
+}
+
+func TestCTCHasHugeJobs(t *testing.T) {
+	jobs := CTC().Generate(30000, 5)
+	found := false
+	for _, r := range jobs {
+		if r.Servers > 350 && r.Servers <= 400 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("CTC generator produced no (350:400] jobs; Table 2's widest bucket would be empty")
+	}
+}
+
+func TestWithAdvanceReservations(t *testing.T) {
+	jobs := KTH().Generate(4000, 9)
+	for _, rho := range []float64{0, 0.2, 0.5, 1} {
+		ar := WithAdvanceReservations(jobs, rho, 3*period.Hour, 13)
+		st := Measure(ar, 128)
+		want := int(math.Ceil(rho * float64(len(jobs))))
+		// Lead time 0 is possible, in which case the job is not counted as
+		// an AR; allow slack below, none above.
+		if st.Reservations > want {
+			t.Fatalf("rho=%.1f: %d reservations, want <= %d", rho, st.Reservations, want)
+		}
+		if rho > 0 && st.Reservations < int(0.9*float64(want)) {
+			t.Fatalf("rho=%.1f: only %d reservations, want about %d", rho, st.Reservations, want)
+		}
+		for i, r := range ar {
+			if r.Start < r.Submit {
+				t.Fatalf("job %d: start precedes submission", i)
+			}
+			if lead := r.Start - r.Submit; lead > period.Time(3*period.Hour) {
+				t.Fatalf("job %d: lead %d exceeds 3 h", i, lead)
+			}
+			if r.Submit != jobs[i].Submit || r.Duration != jobs[i].Duration || r.Servers != jobs[i].Servers {
+				t.Fatalf("job %d: AR augmentation changed other fields", i)
+			}
+		}
+	}
+	// rho = 0 must leave everything untouched.
+	same := WithAdvanceReservations(jobs, 0, 3*period.Hour, 13)
+	for i := range jobs {
+		if same[i] != jobs[i] {
+			t.Fatal("rho=0 modified the workload")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CTC", "KTH", "HPC2N"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Fatalf("ByName(%s) = %+v, %v", name, m.Name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s preset invalid: %v", name, err)
+		}
+	}
+	if _, err := ByName("SDSC"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestMeanDurationAnalytic(t *testing.T) {
+	for _, m := range Models() {
+		if got := m.MeanDurationHours(); math.Abs(got-m.TraceAvgHours)/m.TraceAvgHours > 0.15 {
+			t.Errorf("%s: analytic mixture mean %.2f h vs Table 1 %.2f h", m.Name, got, m.TraceAvgHours)
+		}
+	}
+}
