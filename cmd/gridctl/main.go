@@ -1,8 +1,9 @@
 // Command gridctl submits cross-site co-allocation requests to a federation
-// of gridd sites, or probes their availability.
+// of gridd sites, probes their availability, or fetches their live counters.
 //
 //	gridctl -sites 127.0.0.1:7001,127.0.0.1:7002 -probe -start 0 -duration 3600
 //	gridctl -sites 127.0.0.1:7001,127.0.0.1:7002 -servers 96 -duration 7200
+//	gridctl stats -sites 127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
@@ -17,6 +18,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsMain(os.Args[2:])
+		return
+	}
 	var (
 		sites    = flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
 		servers  = flag.Int("servers", 1, "total servers to co-allocate")

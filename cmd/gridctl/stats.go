@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coalloc/internal/wire"
+)
+
+// statsMain implements `gridctl stats`: it fetches each site's live
+// counters over the same RPC connection brokers use and prints them in the
+// /statusz format.
+func statsMain(args []string) {
+	fs := flag.NewFlagSet("gridctl stats", flag.ExitOnError)
+	sites := fs.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+	fs.Parse(args)
+
+	failed := false
+	first := true
+	for _, addr := range strings.Split(*sites, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		c, err := wire.Dial("tcp", addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridctl:", err)
+			failed = true
+			continue
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridctl:", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("[%s]\n", addr)
+		st.WriteText(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,12 @@
 // leases lapsed while the daemon was down expire on the first operation,
 // exactly as if it had stayed up.
 //
+// With -debug the daemon also serves observability endpoints over HTTP:
+// /metrics (Prometheus text; ?format=json for expvar-style), /healthz,
+// /statusz, and the standard /debug/pprof/ profiles. -trace additionally
+// logs every scheduling and 2PC decision as a structured JSON event on
+// stderr.
+//
 // Pair it with cmd/gridctl or examples/multisite.
 package main
 
@@ -17,16 +23,24 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"coalloc/internal/core"
 	"coalloc/internal/grid"
+	"coalloc/internal/obs"
 	"coalloc/internal/period"
 	"coalloc/internal/wire"
 )
+
+// shutdownGrace bounds how long a SIGINT waits for in-flight RPCs before
+// force-closing their connections.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	var (
@@ -37,6 +51,8 @@ func main() {
 		horizonHours = flag.Int("horizon", 168, "scheduling horizon in hours")
 		now          = flag.Int64("now", 0, "initial simulation time in seconds")
 		snapshot     = flag.String("snapshot", "", "state file: restored at startup, written on shutdown")
+		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (disabled when empty)")
+		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
 	)
 	flag.Parse()
 
@@ -50,6 +66,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
+
+	var tracer obs.Tracer
+	if *trace {
+		tracer = obs.NewSlogTracer(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
+	if *debugAddr != "" || tracer != nil {
+		reg := obs.Default()
+		site.Instrument(reg, tracer)
+		srv.Instrument(reg)
+		if *debugAddr != "" {
+			dl, err := net.Listen("tcp", *debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridd:", err)
+				os.Exit(1)
+			}
+			go http.Serve(dl, debugMux(site, reg))
+			fmt.Printf("gridd: debug endpoints on http://%s/\n", dl.Addr())
+		}
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
@@ -57,23 +93,32 @@ func main() {
 	}
 	fmt.Printf("gridd: site %q with %d servers listening on %s\n", site.Name(), site.Servers(), l.Addr())
 
-	if *snapshot != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "gridd:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		// Stop accepting and drain in-flight RPCs before touching site
+		// state: snapshotting while handlers still run could persist a
+		// half-applied hold and lose the late calls' effects.
+		if err := srv.Shutdown(shutdownGrace); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "gridd: shutdown:", err)
+		}
+		if *snapshot != "" {
 			if err := saveSite(*snapshot, site); err != nil {
 				fmt.Fprintln(os.Stderr, "gridd: snapshot:", err)
 				os.Exit(1)
 			}
 			fmt.Printf("gridd: state saved to %s\n", *snapshot)
-			os.Exit(0)
-		}()
-	}
-
-	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
-		fmt.Fprintln(os.Stderr, "gridd:", err)
-		os.Exit(1)
+		}
 	}
 }
 

@@ -41,10 +41,12 @@ package coalloc
 
 import (
 	"coalloc/internal/batch"
+	"coalloc/internal/calendar"
 	"coalloc/internal/core"
 	"coalloc/internal/grid"
 	"coalloc/internal/job"
 	"coalloc/internal/lambda"
+	"coalloc/internal/obs"
 	"coalloc/internal/period"
 	"coalloc/internal/workflow"
 	"coalloc/internal/workload"
@@ -183,6 +185,52 @@ func ScheduleWorkflow(s *Scheduler, w Workflow, submit Time, baseID int64) (Work
 
 // CancelWorkflow releases every allocation of an admitted plan.
 func CancelWorkflow(s *Scheduler, p WorkflowPlan) error { return workflow.Cancel(s, p) }
+
+// Observability: zero-dependency counters, gauges, and windowed latency
+// histograms in a named registry, plus structured per-request trace events.
+// Pass an Observer in Config (or call Site.Instrument) to wire the
+// scheduler's decisions into a Registry and Tracer; with none configured
+// every hook is a single nil check.
+type (
+	Registry     = obs.Registry
+	Counter      = obs.Counter
+	Gauge        = obs.Gauge
+	LatencyHist  = obs.Histogram
+	Tracer       = obs.Tracer
+	SlogTracer   = obs.SlogTracer
+	MemTracer    = obs.MemTracer
+	Observer     = core.Observer
+	SchedulerObs = core.TracingObserver
+)
+
+// NewRegistry creates an empty metric registry; DefaultRegistry returns the
+// shared process-wide one (what gridd -debug serves on /metrics).
+func NewRegistry() *Registry     { return obs.NewRegistry() }
+func DefaultRegistry() *Registry { return obs.Default() }
+
+// NewSlogTracer emits trace events through a slog logger (nil for the
+// default logger).
+var NewSlogTracer = obs.NewSlogTracer
+
+// NewTracingObserver builds the standard Observer: counters into reg,
+// events into tr; either may be nil.
+func NewTracingObserver(reg *Registry, tr Tracer) *SchedulerObs {
+	return core.NewTracingObserver(reg, tr)
+}
+
+// Per-layer statistics snapshots.
+type (
+	// SchedulerStats are the lifetime counters of one Scheduler.
+	SchedulerStats = core.Stats
+	// SiteStatus is the point-in-time summary served by the Stats RPC,
+	// /statusz, and `gridctl stats`.
+	SiteStatus = grid.SiteStatus
+	// BrokerStats counts a broker's co-allocation outcomes.
+	BrokerStats = grid.BrokerStats
+	// OpsBreakdown attributes elementary tree operations to search, update,
+	// and rotation work (the paper's Fig. 7(b) metric).
+	OpsBreakdown = calendar.OpsBreakdown
+)
 
 // Optical lambda-grid scheduling (§3.2).
 type (

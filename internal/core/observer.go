@@ -1,0 +1,142 @@
+package core
+
+import (
+	"log/slog"
+
+	"coalloc/internal/job"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+// Observer receives scheduler lifecycle callbacks: one JobSubmitted per
+// Submit call, one Attempt per scheduling attempt (with the phase-1
+// candidate count and phase-2 feasible count of the two-phase search), and
+// exactly one of JobAccepted / JobRejected, plus Released for early
+// releases. Implementations must be cheap — callbacks run on the submit hot
+// path — and need not be concurrency-safe beyond what the scheduler itself
+// guarantees (it is single-threaded).
+//
+// A nil Observer in Config disables all callbacks; the hot path then pays a
+// single nil check per hook.
+type Observer interface {
+	// JobSubmitted fires when a request enters Submit, after validation.
+	JobSubmitted(r job.Request)
+	// Attempt fires once per scheduling attempt. candidates is the phase-1
+	// count (periods with start <= s_r), feasible the phase-2 count
+	// (candidates with end >= e_r, capped at want).
+	Attempt(r job.Request, attempt int, start period.Time, candidates, feasible, want int)
+	// JobAccepted fires when an allocation is committed.
+	JobAccepted(a job.Allocation)
+	// JobRejected fires when a request is finally rejected.
+	JobRejected(r job.Request, reason string, attempts int)
+	// Released fires when an allocation's tail is returned to the pool.
+	Released(a job.Allocation, at period.Time)
+}
+
+// EventRelease names the early-release trace event (the scheduler-side
+// counterpart of obs's request events).
+const EventRelease = "release"
+
+// TracingObserver is the standard Observer: it mirrors the scheduler's
+// lifecycle into an obs.Registry (counters) and an obs.Tracer (structured
+// per-request events). Either sink may be nil.
+type TracingObserver struct {
+	tracer obs.Tracer
+
+	submitted, accepted, rejected *obs.Counter
+	attempts, releases            *obs.Counter
+}
+
+// NewTracingObserver builds an observer writing counters under the
+// "sched." prefix of reg and events to tr. reg and tr may each be nil.
+func NewTracingObserver(reg *obs.Registry, tr obs.Tracer) *TracingObserver {
+	o := &TracingObserver{tracer: tr}
+	if reg != nil {
+		o.submitted = reg.Counter("sched.submitted")
+		o.accepted = reg.Counter("sched.accepted")
+		o.rejected = reg.Counter("sched.rejected")
+		o.attempts = reg.Counter("sched.attempts")
+		o.releases = reg.Counter("sched.releases")
+		reg.Help("sched.submitted", "requests entering Submit")
+		reg.Help("sched.accepted", "requests granted an allocation")
+		reg.Help("sched.rejected", "requests finally rejected")
+		reg.Help("sched.attempts", "scheduling attempts over all requests")
+		reg.Help("sched.releases", "early releases")
+	}
+	return o
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// JobSubmitted implements Observer.
+func (o *TracingObserver) JobSubmitted(r job.Request) {
+	inc(o.submitted)
+	if o.tracer != nil {
+		o.tracer.Event(obs.EventSubmit,
+			slog.Int64("job", r.ID),
+			slog.Int("servers", r.Servers),
+			slog.Int64("start", int64(r.Start)),
+			slog.Int64("duration", int64(r.Duration)))
+	}
+}
+
+// Attempt implements Observer.
+func (o *TracingObserver) Attempt(r job.Request, attempt int, start period.Time, candidates, feasible, want int) {
+	inc(o.attempts)
+	if o.tracer == nil {
+		return
+	}
+	if attempt > 1 {
+		o.tracer.Event(obs.EventRetry,
+			slog.Int64("job", r.ID),
+			slog.Int("attempt", attempt),
+			slog.Int64("start", int64(start)))
+	}
+	o.tracer.Event(obs.EventPhase1,
+		slog.Int64("job", r.ID),
+		slog.Int("attempt", attempt),
+		slog.Int("candidates", candidates))
+	o.tracer.Event(obs.EventPhase2,
+		slog.Int64("job", r.ID),
+		slog.Int("attempt", attempt),
+		slog.Int("feasible", feasible),
+		slog.Int("want", want))
+}
+
+// JobAccepted implements Observer.
+func (o *TracingObserver) JobAccepted(a job.Allocation) {
+	inc(o.accepted)
+	if o.tracer != nil {
+		o.tracer.Event(obs.EventAccept,
+			slog.Int64("job", a.Job.ID),
+			slog.Int("attempts", a.Attempts),
+			slog.Int64("start", int64(a.Start)),
+			slog.Int64("wait", int64(a.Wait)),
+			slog.Int("servers", len(a.Servers)))
+	}
+}
+
+// JobRejected implements Observer.
+func (o *TracingObserver) JobRejected(r job.Request, reason string, attempts int) {
+	inc(o.rejected)
+	if o.tracer != nil {
+		o.tracer.Event(obs.EventReject,
+			slog.Int64("job", r.ID),
+			slog.Int("attempts", attempts),
+			slog.String("reason", reason))
+	}
+}
+
+// Released implements Observer.
+func (o *TracingObserver) Released(a job.Allocation, at period.Time) {
+	inc(o.releases)
+	if o.tracer != nil {
+		o.tracer.Event(EventRelease,
+			slog.Int64("job", a.Job.ID),
+			slog.Int64("at", int64(at)))
+	}
+}

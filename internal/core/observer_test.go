@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"coalloc/internal/job"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+func TestTracingObserverLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	var tr obs.MemTracer
+	cfg := testConfig(4)
+	cfg.Observer = NewTracingObserver(reg, &tr)
+	s, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alloc, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tr.Names()
+	want := []string{obs.EventSubmit, obs.EventPhase1, obs.EventPhase2, obs.EventAccept}
+	if len(names) != len(want) {
+		t.Fatalf("events = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("events = %v, want %v", names, want)
+		}
+	}
+	if got := reg.Counter("sched.submitted").Value(); got != 1 {
+		t.Errorf("sched.submitted = %d, want 1", got)
+	}
+	if got := reg.Counter("sched.accepted").Value(); got != 1 {
+		t.Errorf("sched.accepted = %d, want 1", got)
+	}
+
+	// Early release emits a release event and bumps the counter.
+	tr.Reset()
+	if err := s.Release(alloc, alloc.Start); err != nil {
+		t.Fatal(err)
+	}
+	if names := tr.Names(); len(names) != 1 || names[0] != EventRelease {
+		t.Fatalf("release events = %v", names)
+	}
+	if got := reg.Counter("sched.releases").Value(); got != 1 {
+		t.Errorf("sched.releases = %d, want 1", got)
+	}
+}
+
+func TestTracingObserverRejectAndRetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	var tr obs.MemTracer
+	cfg := testConfig(4)
+	cfg.MaxAttempts = 3
+	cfg.Observer = NewTracingObserver(reg, &tr)
+	s, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Too wide: rejected without any attempt.
+	if _, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 99}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("want rejection, got %v", err)
+	}
+	names := tr.Names()
+	if len(names) != 2 || names[0] != obs.EventSubmit || names[1] != obs.EventReject {
+		t.Fatalf("too-wide events = %v", names)
+	}
+
+	// Saturate the system, then watch a narrow job retry and fail.
+	tr.Reset()
+	if _, err := s.Submit(job.Request{ID: 2, Duration: 24 * period.Hour, Servers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset()
+	if _, err := s.Submit(job.Request{ID: 3, Duration: period.Hour, Servers: 1, MaxAttempts: 2}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("want rejection, got %v", err)
+	}
+	var retries, rejects int
+	for _, n := range tr.Names() {
+		switch n {
+		case obs.EventRetry:
+			retries++
+		case obs.EventReject:
+			rejects++
+		}
+	}
+	if retries == 0 || rejects != 1 {
+		t.Errorf("retry events = %d, reject events = %d (names %v)", retries, rejects, tr.Names())
+	}
+	if got := reg.Counter("sched.rejected").Value(); got != 2 {
+		t.Errorf("sched.rejected = %d, want 2", got)
+	}
+	if got := reg.Counter("sched.attempts").Value(); got == 0 {
+		t.Error("sched.attempts = 0, want > 0")
+	}
+}
+
+// TestObserverNilSafe ensures a scheduler without an observer behaves
+// identically (the hooks are nil-checked on every path).
+func TestObserverNilSafe(t *testing.T) {
+	s, err := New(testConfig(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := s.Submit(job.Request{ID: 1, Duration: period.Hour, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(alloc, alloc.Start); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(job.Request{ID: 2, Duration: period.Hour, Servers: 99}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("want rejection, got %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/calendar"
+	"coalloc/internal/dtree"
 	"coalloc/internal/job"
 	"coalloc/internal/period"
 )
@@ -35,6 +36,9 @@ type Config struct {
 	MaxAttempts int
 	// Policy selects among feasible idle periods. Defaults to PaperOrder.
 	Policy SelectionPolicy
+	// Observer, if non-nil, receives lifecycle callbacks (see Observer).
+	// With no observer every hook reduces to a nil check.
+	Observer Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -99,6 +103,7 @@ type Scheduler struct {
 	cfg   Config
 	cal   *calendar.Calendar
 	stats Stats
+	obs   Observer // copy of cfg.Observer; nil disables all hooks
 }
 
 // New creates a scheduler whose clock starts at now with all servers idle.
@@ -112,7 +117,20 @@ func New(cfg Config, now period.Time) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scheduler{cfg: cfg, cal: cal}, nil
+	return &Scheduler{cfg: cfg, cal: cal, obs: cfg.Observer}, nil
+}
+
+// SetObserver installs (or, with nil, removes) the lifecycle observer after
+// construction — the path used when a scheduler is restored from a snapshot.
+func (s *Scheduler) SetObserver(o Observer) {
+	s.obs = o
+	s.cfg.Observer = o
+}
+
+// SetTimings installs wall-clock timing collection on the underlying
+// calendar and its slot trees; see calendar.Timings and dtree.Timings.
+func (s *Scheduler) SetTimings(cal *calendar.Timings, tree *dtree.Timings) {
+	s.cal.SetTimings(cal, tree)
 }
 
 // Config returns the scheduler's effective configuration (with defaults
@@ -157,8 +175,14 @@ func (s *Scheduler) Submit(r job.Request) (job.Allocation, error) {
 	}
 	s.Advance(r.Submit)
 	s.stats.Submitted++
+	if s.obs != nil {
+		s.obs.JobSubmitted(r)
+	}
 	if r.Servers > s.cfg.Servers {
 		s.stats.Rejected++
+		if s.obs != nil {
+			s.obs.JobRejected(r, ReasonTooWide, 0)
+		}
 		return job.Allocation{}, &RejectionError{Job: r, Reason: ReasonTooWide}
 	}
 
@@ -185,6 +209,9 @@ func (s *Scheduler) Submit(r job.Request) (job.Allocation, error) {
 		if start > latest {
 			s.stats.Rejected++
 			s.stats.TotalAttempts += uint64(attempts)
+			if s.obs != nil {
+				s.obs.JobRejected(r, ReasonDeadline, attempts)
+			}
 			return job.Allocation{}, &RejectionError{Job: r, Attempts: attempts, LastTry: start, Reason: ReasonDeadline}
 		}
 		end := start.Add(r.Duration)
@@ -192,11 +219,17 @@ func (s *Scheduler) Submit(r job.Request) (job.Allocation, error) {
 			// Retrying only moves the job later, so this cannot recover.
 			s.stats.Rejected++
 			s.stats.TotalAttempts += uint64(attempts)
+			if s.obs != nil {
+				s.obs.JobRejected(r, ReasonBeyondHorizon, attempts)
+			}
 			return job.Allocation{}, &RejectionError{Job: r, Attempts: attempts, LastTry: start, Reason: ReasonBeyondHorizon}
 		}
 		attempts++
 
-		feasible := s.findFeasible(start, end, r.Servers)
+		feasible, candidates := s.findFeasible(start, end, r.Servers)
+		if s.obs != nil {
+			s.obs.Attempt(r, attempts, start, candidates, len(feasible), r.Servers)
+		}
 		if len(feasible) >= r.Servers {
 			chosen := s.cfg.Policy.Select(feasible, start, end, r.Servers)
 			servers := make([]int, 0, r.Servers)
@@ -211,28 +244,37 @@ func (s *Scheduler) Submit(r job.Request) (job.Allocation, error) {
 			}
 			s.stats.Accepted++
 			s.stats.TotalAttempts += uint64(attempts)
-			return job.Allocation{
+			alloc := job.Allocation{
 				Job:      r,
 				Servers:  servers,
 				Start:    start,
 				End:      end,
 				Attempts: attempts,
 				Wait:     period.Duration(start - r.Start),
-			}, nil
+			}
+			if s.obs != nil {
+				s.obs.JobAccepted(alloc)
+			}
+			return alloc, nil
 		}
 		start = start.Add(deltaT)
 	}
 	s.stats.Rejected++
 	s.stats.TotalAttempts += uint64(attempts)
+	if s.obs != nil {
+		s.obs.JobRejected(r, ReasonAttemptsExhausted, attempts)
+	}
 	return job.Allocation{}, &RejectionError{Job: r, Attempts: attempts, LastTry: start, Reason: ReasonAttemptsExhausted}
 }
 
-func (s *Scheduler) findFeasible(start, end period.Time, want int) []period.Period {
+// findFeasible returns up to want feasible periods plus the phase-1
+// candidate count (for the attempt statistics and the Observer).
+func (s *Scheduler) findFeasible(start, end period.Time, want int) ([]period.Period, int) {
 	if s.cfg.Policy.NeedsAll() {
-		return s.cal.RangeSearch(start, end)
+		all := s.cal.RangeSearch(start, end)
+		return all, len(all)
 	}
-	feasible, _ := s.cal.FindFeasible(start, end, want)
-	return feasible
+	return s.cal.FindFeasible(start, end, want)
 }
 
 // RangeSearch returns every idle period available for the window
@@ -323,6 +365,9 @@ func (s *Scheduler) Release(alloc job.Allocation, at period.Time) error {
 		}
 	}
 	s.stats.Releases++
+	if s.obs != nil {
+		s.obs.Released(alloc, at)
+	}
 	return nil
 }
 

@@ -1,0 +1,32 @@
+package dtree
+
+import (
+	"time"
+
+	"coalloc/internal/obs"
+)
+
+// Timings collects wall-clock durations of tree operations into latency
+// histograms. It complements the elementary-operation counter: the counter
+// measures algorithmic work (node visits, the paper's Fig. 7(b) metric)
+// while Timings measures real time, which is what a production deployment
+// alerts on. All fields are optional; nil histograms are skipped.
+//
+// A Timings value is typically shared by every slot tree of one calendar so
+// the histograms aggregate across the whole horizon.
+type Timings struct {
+	Search  *obs.Histogram // two-phase searches (Search)
+	Update  *obs.Histogram // Insert and Delete descents, including rebalancing
+	Rebuild *obs.Histogram // scapegoat partial rebuilds (the "rotation" analog)
+}
+
+// SetTimings installs (or, with nil, removes) timing collection on the tree.
+// With no Timings installed every operation pays only a nil check.
+func (t *Tree) SetTimings(tm *Timings) { t.tm = tm }
+
+// observe records d into h if both the timings and the histogram are set.
+func (tm *Timings) observe(h *obs.Histogram, t0 time.Time) {
+	if tm != nil && h != nil {
+		h.Observe(time.Since(t0))
+	}
+}

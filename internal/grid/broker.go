@@ -3,9 +3,12 @@ package grid
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
+	"coalloc/internal/obs"
 	"coalloc/internal/period"
 )
 
@@ -80,6 +83,11 @@ type BrokerConfig struct {
 	MaxAttempts int
 	// CommitRetries bounds phase-2 re-delivery attempts per site; default 3.
 	CommitRetries int
+	// Registry, if non-nil, receives 2PC outcome counters and window
+	// latencies under the "broker." prefix.
+	Registry *obs.Registry
+	// Tracer, if non-nil, receives per-request prepare/commit/abort events.
+	Tracer obs.Tracer
 }
 
 func (c *BrokerConfig) applyDefaults() {
@@ -112,11 +120,45 @@ type BrokerStats struct {
 	Aborts         uint64 // total holds aborted during failed attempts
 }
 
+// brokerMetrics caches the broker's registry entries so the 2PC hot path
+// never takes the registry lock; nil when no Registry is configured.
+type brokerMetrics struct {
+	requests, granted, rejected *obs.Counter
+	partials, aborts            *obs.Counter
+	windowLatency               *obs.Histogram // one probe/prepare/commit round
+	requestLatency              *obs.Histogram // whole CoAllocate including retries
+}
+
+func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &brokerMetrics{
+		requests:       reg.Counter("broker.requests"),
+		granted:        reg.Counter("broker.granted"),
+		rejected:       reg.Counter("broker.rejected"),
+		partials:       reg.Counter("broker.partial_commits"),
+		aborts:         reg.Counter("broker.aborts"),
+		windowLatency:  reg.Histogram("broker.window.latency"),
+		requestLatency: reg.Histogram("broker.request.latency"),
+	}
+	reg.Help("broker.requests", "cross-site co-allocation requests")
+	reg.Help("broker.granted", "requests committed atomically across sites")
+	reg.Help("broker.rejected", "requests that exhausted every window")
+	reg.Help("broker.partial_commits", "phase-2 rounds that missed a site")
+	reg.Help("broker.aborts", "holds aborted during failed windows")
+	reg.Help("broker.window.latency", "one probe/prepare/commit round")
+	reg.Help("broker.request.latency", "whole CoAllocate including retries")
+	return m
+}
+
 // Broker coordinates atomic co-allocations across sites. It is safe for
 // concurrent use.
 type Broker struct {
-	cfg   BrokerConfig
-	sites []Conn // sorted by name: the global prepare order
+	cfg    BrokerConfig
+	sites  []Conn // sorted by name: the global prepare order
+	m      *brokerMetrics
+	tracer obs.Tracer
 
 	mu       sync.Mutex
 	nextHold int64
@@ -136,7 +178,14 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 			return nil, fmt.Errorf("grid: duplicate site name %q", ordered[i].Name())
 		}
 	}
-	return &Broker{cfg: cfg, sites: ordered}, nil
+	return &Broker{cfg: cfg, sites: ordered, m: newBrokerMetrics(cfg.Registry), tracer: cfg.Tracer}, nil
+}
+
+// event emits a tracer event if a tracer is configured.
+func (b *Broker) event(name string, attrs ...slog.Attr) {
+	if b.tracer != nil {
+		b.tracer.Event(name, attrs...)
+	}
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -167,6 +216,15 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	b.mu.Lock()
 	b.stats.Requests++
 	b.mu.Unlock()
+	if b.m != nil {
+		b.m.requests.Inc()
+		defer b.m.requestLatency.Since(time.Now())
+	}
+	b.event(obs.EventSubmit,
+		slog.Int64("job", req.ID),
+		slog.Int("servers", req.Servers),
+		slog.Int64("start", int64(req.Start)),
+		slog.Int64("duration", int64(req.Duration)))
 
 	start := req.Start
 	if start < now {
@@ -180,6 +238,14 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 			b.mu.Lock()
 			b.stats.Granted++
 			b.mu.Unlock()
+			if b.m != nil {
+				b.m.granted.Inc()
+			}
+			b.event(obs.EventAccept,
+				slog.Int64("job", req.ID),
+				slog.String("hold", alloc.HoldID),
+				slog.Int("attempts", attempt),
+				slog.Int64("start", int64(alloc.Start)))
 			return alloc, nil
 		}
 		var ce *CommitError
@@ -189,19 +255,42 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 			b.mu.Lock()
 			b.stats.PartialCommits++
 			b.mu.Unlock()
+			if b.m != nil {
+				b.m.partials.Inc()
+			}
+			b.event(obs.EventReject,
+				slog.Int64("job", req.ID),
+				slog.String("reason", "partial commit"),
+				slog.String("hold", ce.HoldID))
 			return MultiAllocation{}, err
 		}
 		lastErr = err
 		start = start.Add(b.cfg.DeltaT)
+		if attempt < b.cfg.MaxAttempts {
+			b.event(obs.EventRetry,
+				slog.Int64("job", req.ID),
+				slog.Int("attempt", attempt+1),
+				slog.Int64("start", int64(start)))
+		}
 	}
 	b.mu.Lock()
 	b.stats.Rejected++
 	b.mu.Unlock()
+	if b.m != nil {
+		b.m.rejected.Inc()
+	}
+	b.event(obs.EventReject,
+		slog.Int64("job", req.ID),
+		slog.String("reason", "no window with sufficient capacity"),
+		slog.Int("attempts", b.cfg.MaxAttempts))
 	return MultiAllocation{}, fmt.Errorf("%w (last: %v)", ErrNoCapacity, lastErr)
 }
 
 // tryWindow runs one probe/prepare/commit round for a fixed window.
 func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (MultiAllocation, error) {
+	if b.m != nil {
+		defer b.m.windowLatency.Since(time.Now())
+	}
 	// Probe every site concurrently; unreachable sites count as empty.
 	avail := make([]Avail, len(b.sites))
 	var wg sync.WaitGroup
@@ -240,14 +329,22 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			// Phase 1 failed: abort everything prepared so far.
 			for _, p := range prepared {
 				_ = p.Abort(now, holdID) // best effort; leases back us up
+				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
 			}
 			b.mu.Lock()
 			b.stats.Aborts += uint64(len(prepared))
 			b.mu.Unlock()
+			if b.m != nil {
+				b.m.aborts.Add(uint64(len(prepared)))
+			}
 			return MultiAllocation{}, fmt.Errorf("grid: prepare failed at %s: %w", sh.Conn.Name(), err)
 		}
 		prepared = append(prepared, sh.Conn)
 		granted = append(granted, GrantedShare{Site: sh.Conn.Name(), Servers: servers})
+		b.event(obs.EventPrepare,
+			slog.String("hold", holdID),
+			slog.String("site", sh.Conn.Name()),
+			slog.Int("servers", len(servers)))
 	}
 
 	// Phase 2: commit everywhere, retrying transient failures.
@@ -266,6 +363,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			continue
 		}
 		committed = append(committed, c.Name())
+		b.event(obs.EventCommit, slog.String("hold", holdID), slog.String("site", c.Name()))
 	}
 	if len(failed) > 0 {
 		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Failed: failed, Err: commitErr}

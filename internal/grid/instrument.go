@@ -1,0 +1,133 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+
+	"coalloc/internal/calendar"
+	"coalloc/internal/core"
+	"coalloc/internal/dtree"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+// SiteStatus is a point-in-time summary of one site: identity, clock,
+// protocol counters, and the embedded scheduler's lifetime statistics. It is
+// what /statusz renders, what the Stats RPC returns, and what `gridctl
+// stats` prints. All fields are exported so the struct travels over gob.
+type SiteStatus struct {
+	Name         string
+	Servers      int
+	Now          period.Time
+	HorizonEnd   period.Time
+	PendingHolds int
+
+	// 2PC protocol counters.
+	Prepared  uint64
+	Committed uint64
+	Aborted   uint64
+	Expired   uint64
+
+	// Embedded scheduler activity.
+	Sched       core.Stats
+	Ops         uint64 // elementary tree operations (Fig. 7(b) metric)
+	Breakdown   calendar.OpsBreakdown
+	Utilization float64 // committed fraction of the active window
+}
+
+// WriteText renders the status as aligned key/value lines — the format of
+// gridd's /statusz endpoint and of `gridctl stats`.
+func (st SiteStatus) WriteText(w io.Writer) error {
+	var s, avgAttempts float64
+	if st.Sched.Submitted > 0 {
+		avgAttempts = float64(st.Sched.TotalAttempts) / float64(st.Sched.Submitted)
+	}
+	s = st.Utilization * 100
+	_, err := fmt.Fprintf(w, `site           %s
+servers        %d
+now            %d
+horizon end    %d
+utilization    %.1f%%
+pending holds  %d
+2pc            prepared=%d committed=%d aborted=%d expired=%d
+jobs           submitted=%d accepted=%d rejected=%d released=%d
+attempts       total=%d avg/job=%.2f
+tree ops       total=%d search=%d update=%d rotate=%d
+`,
+		st.Name, st.Servers, int64(st.Now), int64(st.HorizonEnd), s,
+		st.PendingHolds,
+		st.Prepared, st.Committed, st.Aborted, st.Expired,
+		st.Sched.Submitted, st.Sched.Accepted, st.Sched.Rejected, st.Sched.Releases,
+		st.Sched.TotalAttempts, avgAttempts,
+		st.Ops, st.Breakdown.Search, st.Breakdown.Update, st.Breakdown.Rotate)
+	return err
+}
+
+// Status summarizes the site under its lock.
+func (s *Site) Status() SiteStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.sched.Now()
+	end := s.sched.HorizonEnd()
+	return SiteStatus{
+		Name:         s.name,
+		Servers:      s.sched.Config().Servers,
+		Now:          now,
+		HorizonEnd:   end,
+		PendingHolds: len(s.holds),
+		Prepared:     s.prepared,
+		Committed:    s.committed,
+		Aborted:      s.aborted,
+		Expired:      s.expired,
+		Sched:        s.sched.Stats(),
+		Ops:          s.sched.Ops(),
+		Breakdown:    s.sched.OpsBreakdown(),
+		Utilization:  s.sched.Utilization(now, end),
+	}
+}
+
+// Instrument installs telemetry on the site: the scheduler gains a
+// core.TracingObserver and calendar/tree timing histograms, the site's 2PC
+// counters and pending-hold gauge are exported through reg, and prepare/
+// commit/abort/expire decisions are emitted as tracer events. Either
+// argument may be nil to skip that sink. Call before serving traffic.
+func (s *Site) Instrument(reg *obs.Registry, tr obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
+	if tr != nil || reg != nil {
+		s.sched.SetObserver(core.NewTracingObserver(reg, tr))
+	}
+	if reg == nil {
+		return
+	}
+	s.sched.SetTimings(
+		&calendar.Timings{
+			Search: reg.Histogram("calendar.search.latency"),
+			Update: reg.Histogram("calendar.update.latency"),
+			Rotate: reg.Histogram("calendar.rotate.latency"),
+		},
+		&dtree.Timings{
+			Search:  reg.Histogram("dtree.search.latency"),
+			Update:  reg.Histogram("dtree.update.latency"),
+			Rebuild: reg.Histogram("dtree.rebuild.latency"),
+		},
+	)
+	reg.Help("calendar.search.latency", "two-phase and range search wall time")
+	reg.Help("calendar.update.latency", "allocate/release maintenance wall time")
+	reg.Help("calendar.rotate.latency", "slot expiry and horizon extension wall time")
+	reg.Func("site.pending_holds", func() float64 { return float64(s.PendingHolds()) })
+	reg.Func("site.prepared", func() float64 { p, _, _, _ := s.Stats(); return float64(p) })
+	reg.Func("site.committed", func() float64 { _, c, _, _ := s.Stats(); return float64(c) })
+	reg.Func("site.aborted", func() float64 { _, _, a, _ := s.Stats(); return float64(a) })
+	reg.Func("site.expired", func() float64 { _, _, _, e := s.Stats(); return float64(e) })
+	reg.Help("site.pending_holds", "prepared holds awaiting a 2PC decision")
+}
+
+// event emits a tracer event if a tracer is installed; callers hold s.mu.
+func (s *Site) event(name string, attrs ...slog.Attr) {
+	if s.tracer != nil {
+		s.tracer.Event(name, attrs...)
+	}
+}

@@ -1,0 +1,132 @@
+package grid
+
+import (
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+func instrTestSite(t *testing.T, name string) *Site {
+	t.Helper()
+	s, err := NewSite(name, core.Config{
+		Servers:  8,
+		SlotSize: 15 * period.Minute,
+		Slots:    96,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSiteStatus(t *testing.T) {
+	site := instrTestSite(t, "alpha")
+	if _, err := site.Prepare(0, "h1", 0, period.Time(period.Hour), 4, period.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := site.Status()
+	if st.Name != "alpha" || st.Servers != 8 {
+		t.Errorf("identity = %q/%d", st.Name, st.Servers)
+	}
+	if st.PendingHolds != 1 || st.Prepared != 1 {
+		t.Errorf("holds = %d, prepared = %d; want 1, 1", st.PendingHolds, st.Prepared)
+	}
+	if st.Sched.Accepted != 1 {
+		t.Errorf("embedded scheduler accepted = %d, want 1", st.Sched.Accepted)
+	}
+	if st.Utilization <= 0 {
+		t.Errorf("utilization = %v, want > 0", st.Utilization)
+	}
+	if st.Ops == 0 {
+		t.Error("ops = 0, want > 0")
+	}
+
+	if err := site.Commit(0, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	st = site.Status()
+	if st.PendingHolds != 0 || st.Committed != 1 {
+		t.Errorf("after commit: holds = %d, committed = %d", st.PendingHolds, st.Committed)
+	}
+}
+
+func TestSiteInstrumentEmitsEventsAndMetrics(t *testing.T) {
+	site := instrTestSite(t, "alpha")
+	reg := obs.NewRegistry()
+	var tr obs.MemTracer
+	site.Instrument(reg, &tr)
+
+	if _, err := site.Prepare(0, "h1", 0, period.Time(period.Hour), 2, period.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Abort(0, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Prepare(0, "h2", 0, period.Time(period.Hour), 2, period.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Advance past the lease: h2 expires.
+	site.Probe(period.Time(period.Hour), period.Time(period.Hour), period.Time(2*period.Hour))
+
+	var got = map[string]int{}
+	for _, n := range tr.Names() {
+		got[n]++
+	}
+	if got[obs.EventPrepare] != 2 || got[obs.EventAbort] != 1 || got[obs.EventExpire] != 1 {
+		t.Errorf("site events = %v", got)
+	}
+	// The embedded scheduler's observer also fired.
+	if got[obs.EventSubmit] == 0 || got[obs.EventAccept] == 0 {
+		t.Errorf("scheduler events missing: %v", got)
+	}
+	// Counters flowed into the registry.
+	if v := reg.Counter("sched.submitted").Value(); v == 0 {
+		t.Error("sched.submitted = 0")
+	}
+	if reg.Histogram("calendar.search.latency").Count() == 0 {
+		t.Error("calendar search latency histogram empty")
+	}
+}
+
+func TestBrokerInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	var tr obs.MemTracer
+	var conns []Conn
+	for _, n := range []string{"a", "b"} {
+		conns = append(conns, LocalConn{Site: instrTestSite(t, n)})
+	}
+	b, err := NewBroker(BrokerConfig{Registry: reg, Tracer: &tr}, conns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CoAllocate(0, Request{ID: 1, Duration: period.Hour, Servers: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CoAllocate(0, Request{ID: 2, Duration: period.Hour, Servers: 999}); err == nil {
+		t.Fatal("want rejection for oversized request")
+	}
+	if v := reg.Counter("broker.requests").Value(); v != 2 {
+		t.Errorf("broker.requests = %d, want 2", v)
+	}
+	if v := reg.Counter("broker.granted").Value(); v != 1 {
+		t.Errorf("broker.granted = %d, want 1", v)
+	}
+	if v := reg.Counter("broker.rejected").Value(); v != 1 {
+		t.Errorf("broker.rejected = %d, want 1", v)
+	}
+	if reg.Histogram("broker.window.latency").Count() == 0 {
+		t.Error("window latency histogram empty")
+	}
+	var got = map[string]int{}
+	for _, n := range tr.Names() {
+		got[n]++
+	}
+	if got[obs.EventPrepare] != 2 || got[obs.EventCommit] != 2 {
+		t.Errorf("broker events = %v (want 2 prepares, 2 commits)", got)
+	}
+	if got[obs.EventAccept] != 1 || got[obs.EventReject] != 1 {
+		t.Errorf("broker accept/reject = %v", got)
+	}
+}

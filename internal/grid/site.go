@@ -26,10 +26,12 @@ package grid
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"coalloc/internal/core"
 	"coalloc/internal/job"
+	"coalloc/internal/obs"
 	"coalloc/internal/period"
 )
 
@@ -44,10 +46,11 @@ type Hold struct {
 // paper's online scheduler, extended with prepare/commit/abort holds. It is
 // safe for concurrent use.
 type Site struct {
-	mu    sync.Mutex
-	name  string
-	sched *core.Scheduler
-	holds map[string]Hold
+	mu     sync.Mutex
+	name   string
+	sched  *core.Scheduler
+	holds  map[string]Hold
+	tracer obs.Tracer // optional; see Instrument
 
 	// stats
 	prepared, committed, aborted, expired uint64
@@ -77,6 +80,7 @@ func (s *Site) advanceLocked(now period.Time) {
 			// The broker never decided: release the lease.
 			if err := s.sched.Release(h.Alloc, h.Alloc.Start); err == nil {
 				s.expired++
+				s.event(obs.EventExpire, slog.String("hold", id), slog.Int64("expired", int64(h.Expires)))
 			}
 			delete(s.holds, id)
 		}
@@ -125,6 +129,11 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 	}
 	s.holds[holdID] = Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
 	s.prepared++
+	s.event(obs.EventPrepare,
+		slog.String("hold", holdID),
+		slog.Int("servers", servers),
+		slog.Int64("start", int64(start)),
+		slog.Int64("expires", int64(now.Add(lease))))
 	return alloc.Servers, nil
 }
 
@@ -150,6 +159,7 @@ func (s *Site) Commit(now period.Time, holdID string) error {
 	}
 	delete(s.holds, holdID)
 	s.committed++
+	s.event(obs.EventCommit, slog.String("hold", holdID))
 	return nil
 }
 
@@ -168,6 +178,7 @@ func (s *Site) Abort(now period.Time, holdID string) error {
 		return fmt.Errorf("grid %s: abort release: %v", s.name, err)
 	}
 	s.aborted++
+	s.event(obs.EventAbort, slog.String("hold", holdID))
 	return nil
 }
 

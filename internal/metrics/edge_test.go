@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramNonFinite pins the fix for the platform-defined float-to-int
+// conversion: NaN and +Inf used to convert to min-int (negative on amd64),
+// skip the x < 0 clamp, and index counts out of range.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h.Add(x) // must not panic
+	}
+	if h.N() != 0 {
+		t.Fatalf("N = %d after non-finite adds, want 0", h.N())
+	}
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.N() != 1 || h.Count(0) != 1 {
+		t.Fatalf("N = %d, Count(0) = %d; non-finite add leaked in", h.N(), h.Count(0))
+	}
+	// The running summary must stay finite too: a NaN would poison the mean.
+	if s := h.Summary(); s.Mean() != 5 || s.N() != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Add(-3)     // below range: bin 0
+	h.Add(1e12)   // beyond range: overflow bin
+	h.Add(39.999) // last regular bin
+	if h.Count(0) != 1 || h.Count(3) != 2 {
+		t.Fatalf("counts = %v %v %v %v", h.Count(0), h.Count(1), h.Count(2), h.Count(3))
+	}
+	var total float64
+	for _, f := range h.Frequencies() {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("frequencies sum to %v", total)
+	}
+}
+
+func TestSummaryStringEmpty(t *testing.T) {
+	var s Summary
+	if got := s.String(); got != "n=0" {
+		t.Fatalf("empty Summary.String() = %q", got)
+	}
+	s.Add(1)
+	if got := s.String(); !strings.HasPrefix(got, "n=1 ") || strings.Contains(got, "NaN") {
+		t.Fatalf("Summary.String() = %q", got)
+	}
+}
+
+func TestBucketsLabelZero(t *testing.T) {
+	b := NewBuckets(50)
+	if got := b.Label(0); got != "(0:50]" {
+		t.Fatalf("Label(0) = %q, want (0:50]", got)
+	}
+	// Keys at and below zero land in bucket 0, matching the paper's first
+	// "(0:50]" row.
+	b.Add(0, 1)
+	b.Add(-1, 2)
+	b.Add(50, 3)
+	if s := b.Bucket(0); s == nil || s.N() != 3 {
+		t.Fatalf("bucket 0 = %v", s)
+	}
+	if got := b.Label(1); got != "(50:100]" {
+		t.Fatalf("Label(1) = %q", got)
+	}
+}

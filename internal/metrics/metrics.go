@@ -60,13 +60,18 @@ func (s Summary) Max() float64 { return s.max }
 
 // String renders a compact summary.
 func (s Summary) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
 	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Std(), s.min, s.max)
 }
 
 // Histogram counts observations into fixed-width bins starting at zero.
 // Negative observations clamp into bin 0; observations beyond the last bin
 // clamp into the overflow (last) bin, so Frequencies always sums to 1 when
-// nonempty.
+// nonempty. NaN and ±Inf observations are dropped: they carry no position
+// on the axis, and the float-to-int conversion they would hit is
+// platform-defined (min-int on amd64, which indexed out of range here).
 type Histogram struct {
 	width  float64
 	counts []int
@@ -82,8 +87,11 @@ func NewHistogram(width float64, bins int) *Histogram {
 	return &Histogram{width: width, counts: make([]int, bins)}
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite observations are ignored.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
 	i := int(x / h.width)
 	if x < 0 {
 		i = 0

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// Event names emitted by the instrumented layers. One request's life is a
+// sequence of these: EventSubmit, then per attempt EventPhase1 (primary-tree
+// descent) and EventPhase2 (secondary-tree search), EventRetry between
+// attempts, and finally EventAccept or EventReject. The broker side of a
+// cross-site co-allocation emits EventPrepare / EventCommit / EventAbort
+// per site and EventExpire when a site lapses an undecided hold.
+const (
+	EventSubmit = "submit"
+	EventPhase1 = "phase1"
+	EventPhase2 = "phase2"
+	EventRetry  = "retry"
+	EventAccept = "accept"
+	EventReject = "reject"
+
+	EventPrepare = "prepare"
+	EventCommit  = "commit"
+	EventAbort   = "abort"
+	EventExpire  = "expire"
+)
+
+// Tracer receives structured per-request events. Implementations must be
+// safe for concurrent use and must not retain the attrs slice.
+type Tracer interface {
+	Event(name string, attrs ...slog.Attr)
+}
+
+// NopTracer discards every event.
+type NopTracer struct{}
+
+// Event implements Tracer.
+func (NopTracer) Event(string, ...slog.Attr) {}
+
+// SlogTracer forwards events to a slog.Logger, one record per event with
+// the event name under the "event" key.
+type SlogTracer struct {
+	L     *slog.Logger
+	Level slog.Level
+}
+
+// NewSlogTracer wraps a logger; a nil logger uses slog.Default().
+func NewSlogTracer(l *slog.Logger) *SlogTracer {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &SlogTracer{L: l, Level: slog.LevelInfo}
+}
+
+// Event implements Tracer.
+func (t *SlogTracer) Event(name string, attrs ...slog.Attr) {
+	if !t.L.Enabled(context.Background(), t.Level) {
+		return
+	}
+	all := make([]slog.Attr, 0, len(attrs)+1)
+	all = append(all, slog.String("event", name))
+	all = append(all, attrs...)
+	t.L.LogAttrs(context.Background(), t.Level, "trace", all...)
+}
+
+// TraceEvent is one recorded event; see MemTracer.
+type TraceEvent struct {
+	Name  string
+	Attrs []slog.Attr
+}
+
+// MemTracer records events in memory for tests and debugging.
+type MemTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Event implements Tracer.
+func (t *MemTracer) Event(name string, attrs ...slog.Attr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{Name: name, Attrs: append([]slog.Attr(nil), attrs...)})
+}
+
+// Events returns a copy of everything recorded so far.
+func (t *MemTracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Names returns the recorded event names in order.
+func (t *MemTracer) Names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.events))
+	for i, e := range t.events {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Reset discards recorded events.
+func (t *MemTracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}

@@ -11,8 +11,10 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"coalloc/internal/grid"
+	"coalloc/internal/obs"
 	"coalloc/internal/period"
 )
 
@@ -62,64 +64,154 @@ type InfoReply struct {
 	Servers int
 }
 
+// StatsArgs requests the site's live counters.
+type StatsArgs struct{}
+
+// StatsReply carries the site summary served to `gridctl stats` and any
+// other monitoring client.
+type StatsReply struct {
+	Status grid.SiteStatus
+}
+
+// svcMetrics caches per-method server-side telemetry; nil when the server
+// is not instrumented.
+type svcMetrics struct {
+	latency  map[string]*obs.Histogram
+	errors   *obs.Counter
+	inflight *obs.Gauge
+}
+
+// serviceMethods names every RPC method, for metric registration.
+var serviceMethods = []string{"Probe", "Prepare", "Commit", "Abort", "Info", "Stats"}
+
+func newSvcMetrics(reg *obs.Registry) *svcMetrics {
+	m := &svcMetrics{
+		latency:  make(map[string]*obs.Histogram, len(serviceMethods)),
+		errors:   reg.Counter("wire.server.errors"),
+		inflight: reg.Gauge("wire.server.inflight"),
+	}
+	for _, name := range serviceMethods {
+		m.latency[name] = reg.Histogram("wire.server." + name + ".latency")
+	}
+	reg.Help("wire.server.errors", "RPC handler errors returned to clients")
+	reg.Help("wire.server.inflight", "RPC handler calls currently executing")
+	return m
+}
+
+// observe wraps one handler invocation.
+func (m *svcMetrics) observe(method string, fn func() error) error {
+	if m == nil {
+		return fn()
+	}
+	m.inflight.Inc()
+	t0 := time.Now()
+	err := fn()
+	m.latency[method].Observe(time.Since(t0))
+	m.inflight.Dec()
+	if err != nil {
+		m.errors.Inc()
+	}
+	return err
+}
+
 // Service adapts a *grid.Site to net/rpc.
 type Service struct {
 	site *grid.Site
+	m    *svcMetrics
 }
 
 // Probe implements the RPC method.
 func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
-	reply.Available = s.site.Probe(args.Now, args.Start, args.End)
-	return nil
+	return s.m.observe("Probe", func() error {
+		reply.Available = s.site.Probe(args.Now, args.Start, args.End)
+		return nil
+	})
 }
 
 // Prepare implements the RPC method.
 func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
-	servers, err := s.site.Prepare(args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
-	if err != nil {
-		return err
-	}
-	reply.Servers = servers
-	return nil
+	return s.m.observe("Prepare", func() error {
+		servers, err := s.site.Prepare(args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
+		if err != nil {
+			return err
+		}
+		reply.Servers = servers
+		return nil
+	})
 }
 
 // Commit implements the RPC method.
 func (s *Service) Commit(args DecideArgs, _ *DecideReply) error {
-	return s.site.Commit(args.Now, args.HoldID)
+	return s.m.observe("Commit", func() error {
+		return s.site.Commit(args.Now, args.HoldID)
+	})
 }
 
 // Abort implements the RPC method.
 func (s *Service) Abort(args DecideArgs, _ *DecideReply) error {
-	return s.site.Abort(args.Now, args.HoldID)
+	return s.m.observe("Abort", func() error {
+		return s.site.Abort(args.Now, args.HoldID)
+	})
 }
 
 // Info implements the RPC method.
 func (s *Service) Info(_ InfoArgs, reply *InfoReply) error {
-	reply.Name = s.site.Name()
-	reply.Servers = s.site.Servers()
-	return nil
+	return s.m.observe("Info", func() error {
+		reply.Name = s.site.Name()
+		reply.Servers = s.site.Servers()
+		return nil
+	})
+}
+
+// Stats implements the RPC method: it returns the site's live counters so
+// monitoring clients (gridctl stats) never need a side channel.
+func (s *Service) Stats(_ StatsArgs, reply *StatsReply) error {
+	return s.m.observe("Stats", func() error {
+		reply.Status = s.site.Status()
+		return nil
+	})
 }
 
 // Server serves one site to any number of brokers.
 type Server struct {
 	site *grid.Site
+	svc  *Service
 	rpc  *rpc.Server
 
-	mu sync.Mutex
-	l  net.Listener
+	mu     sync.Mutex
+	l      net.Listener
+	closed bool // Shutdown started: reject late-accepted connections
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
 // NewServer wraps a site for serving.
 func NewServer(site *grid.Site) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(ServiceName, &Service{site: site}); err != nil {
+	svc := &Service{site: site}
+	if err := srv.RegisterName(ServiceName, svc); err != nil {
 		return nil, fmt.Errorf("wire: register: %w", err)
 	}
-	return &Server{site: site, rpc: srv}, nil
+	return &Server{site: site, svc: svc, rpc: srv, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Instrument installs per-method latency histograms, an error counter, and
+// connection gauges under reg's "wire.server." prefix. Call before Serve.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.svc.m = newSvcMetrics(reg)
+	reg.Func("wire.server.open_conns", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	reg.Help("wire.server.open_conns", "currently open client connections")
 }
 
 // Serve accepts connections until the listener is closed. It always returns
-// a non-nil error (net.ErrClosed after Close).
+// a non-nil error (net.ErrClosed after Close or Shutdown).
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.l = l
@@ -129,11 +221,30 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go s.rpc.ServeConn(conn)
+		s.mu.Lock()
+		if s.closed {
+			// Shutdown already counted the in-flight set; do not add to it.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
+			s.rpc.ServeConn(conn)
+		}()
 	}
 }
 
-// Close stops accepting new connections.
+// Close stops accepting new connections. In-flight connections keep being
+// served; use Shutdown to drain them too.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -143,12 +254,49 @@ func (s *Server) Close() error {
 	return s.l.Close()
 }
 
+// Shutdown closes the listener and waits for in-flight connections to
+// drain. Connections still open after grace (for example a broker holding
+// an idle persistent connection) are force-closed; net/rpc finishes the
+// call it is executing before noticing, so no handler is interrupted
+// mid-mutation. After Shutdown returns no RPC is running or can start,
+// which makes it safe to snapshot the site and exit.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.l
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
 // Client is a broker-side connection to a remote site. It implements
 // grid.Conn.
 type Client struct {
 	name    string
 	servers int
 	c       *rpc.Client
+
+	// optional telemetry; see Instrument
+	latency map[string]*obs.Histogram
+	errs    *obs.Counter
 }
 
 var _ grid.Conn = (*Client)(nil)
@@ -167,6 +315,34 @@ func Dial(network, addr string) (*Client, error) {
 	return &Client{name: info.Name, servers: info.Servers, c: c}, nil
 }
 
+// Instrument installs per-method RPC latency histograms and an error
+// counter under reg's "wire.client.<site>." prefix, so a broker federating
+// several sites can tell their link qualities apart.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "wire.client." + c.name + "."
+	c.latency = make(map[string]*obs.Histogram, len(serviceMethods))
+	for _, m := range serviceMethods {
+		c.latency[m] = reg.Histogram(prefix + m + ".latency")
+	}
+	c.errs = reg.Counter(prefix + "errors")
+	reg.Help(prefix+"errors", "RPC calls to this site that returned an error")
+}
+
+// call routes one RPC through the telemetry wrapper.
+func (c *Client) call(method string, args, reply any) error {
+	if c.latency != nil {
+		defer c.latency[method].Since(time.Now())
+	}
+	err := c.c.Call(ServiceName+"."+method, args, reply)
+	if err != nil && c.errs != nil {
+		c.errs.Inc()
+	}
+	return err
+}
+
 // Name implements grid.Conn.
 func (c *Client) Name() string { return c.name }
 
@@ -176,7 +352,7 @@ func (c *Client) Servers() (int, error) { return c.servers, nil }
 // Probe implements grid.Conn.
 func (c *Client) Probe(now, start, end period.Time) (int, error) {
 	var reply ProbeReply
-	if err := c.c.Call(ServiceName+".Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
+	if err := c.call("Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Available, nil
@@ -185,7 +361,7 @@ func (c *Client) Probe(now, start, end period.Time) (int, error) {
 // Prepare implements grid.Conn.
 func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
 	var reply PrepareReply
-	err := c.c.Call(ServiceName+".Prepare", PrepareArgs{
+	err := c.call("Prepare", PrepareArgs{
 		Now: now, HoldID: holdID, Start: start, End: end, Servers: servers, Lease: lease,
 	}, &reply)
 	if err != nil {
@@ -196,12 +372,21 @@ func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time,
 
 // Commit implements grid.Conn.
 func (c *Client) Commit(now period.Time, holdID string) error {
-	return c.c.Call(ServiceName+".Commit", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+	return c.call("Commit", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
 }
 
 // Abort implements grid.Conn.
 func (c *Client) Abort(now period.Time, holdID string) error {
-	return c.c.Call(ServiceName+".Abort", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+	return c.call("Abort", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+}
+
+// Stats fetches the site's live counters.
+func (c *Client) Stats() (grid.SiteStatus, error) {
+	var reply StatsReply
+	if err := c.call("Stats", StatsArgs{}, &reply); err != nil {
+		return grid.SiteStatus{}, err
+	}
+	return reply.Status, nil
 }
 
 // Close releases the connection.
