@@ -1,9 +1,11 @@
 // Command gridctl submits cross-site co-allocation requests to a federation
-// of gridd sites, probes their availability, or fetches their live counters.
+// of gridd sites, probes their availability, fetches their live counters, or
+// forces a durable checkpoint of their write-ahead logs.
 //
 //	gridctl -sites 127.0.0.1:7001,127.0.0.1:7002 -probe -start 0 -duration 3600
 //	gridctl -sites 127.0.0.1:7001,127.0.0.1:7002 -servers 96 -duration 7200
 //	gridctl stats -sites 127.0.0.1:7001,127.0.0.1:7002
+//	gridctl checkpoint -sites 127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
@@ -18,9 +20,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stats" {
-		statsMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			statsMain(os.Args[2:])
+			return
+		case "checkpoint":
+			checkpointMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		sites    = flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")

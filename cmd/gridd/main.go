@@ -4,11 +4,19 @@
 //
 //	gridd -name site-a -listen 127.0.0.1:7001 -servers 64
 //
+// With -wal the site journals every state mutation to a write-ahead log
+// before acknowledging it, checkpoints periodically (and on shutdown), and
+// recovers its exact pre-crash state at startup: latest checkpoint, replay
+// of the records after it, and fsck-style repair of a torn tail left by a
+// crash mid-append. -wal-sync picks the fsync policy (always, interval,
+// none) and -checkpoint-every the auto-checkpoint cadence.
+//
 // With -snapshot the site persists its full state (reservations, pending
 // holds, protocol counters) to the given file on SIGINT/SIGTERM and
-// restores from it at startup, so a restart loses nothing: holds whose
+// restores from it at startup, so a clean restart loses nothing: holds whose
 // leases lapsed while the daemon was down expire on the first operation,
-// exactly as if it had stayed up.
+// exactly as if it had stayed up. Unlike -wal it offers no crash safety
+// between shutdowns.
 //
 // With -debug the daemon also serves observability endpoints over HTTP:
 // /metrics (Prometheus text; ?format=json for expvar-style), /healthz,
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -35,6 +44,7 @@ import (
 	"coalloc/internal/grid"
 	"coalloc/internal/obs"
 	"coalloc/internal/period"
+	"coalloc/internal/wal"
 	"coalloc/internal/wire"
 )
 
@@ -51,28 +61,48 @@ func main() {
 		horizonHours = flag.Int("horizon", 168, "scheduling horizon in hours")
 		now          = flag.Int64("now", 0, "initial simulation time in seconds")
 		snapshot     = flag.String("snapshot", "", "state file: restored at startup, written on shutdown")
+		walDir       = flag.String("wal", "", "write-ahead log directory: crash-safe durability (recover on boot, journal every mutation)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+		walSyncEvery = flag.Duration("wal-sync-every", 100*time.Millisecond, "fsync cadence for -wal-sync=interval")
+		ckptEvery    = flag.Duration("checkpoint-every", 5*time.Minute, "auto-checkpoint cadence with -wal (0 disables)")
 		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (disabled when empty)")
 		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
 	)
 	flag.Parse()
 
-	site, err := loadOrCreateSite(*snapshot, *name, *servers, *tauMin, *horizonHours, *now)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gridd:", err)
-		os.Exit(1)
+	var tracer obs.Tracer
+	if *trace {
+		tracer = obs.NewSlogTracer(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 	}
-	srv, err := wire.NewServer(site)
+	var reg *obs.Registry
+	if *debugAddr != "" || tracer != nil {
+		reg = obs.Default()
+	}
+
+	fresh := func() (*grid.Site, error) {
+		return loadOrCreateSite(*snapshot, *name, *servers, *tauMin, *horizonHours, *now)
+	}
+	var (
+		site *grid.Site
+		wlog *wal.Log
+		err  error
+	)
+	if *walDir != "" {
+		site, wlog, err = bootFromWAL(*walDir, *walSync, *walSyncEvery, reg, fresh)
+	} else {
+		site, err = fresh()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
 
-	var tracer obs.Tracer
-	if *trace {
-		tracer = obs.NewSlogTracer(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	srv, err := wire.NewServer(site)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(1)
 	}
-	if *debugAddr != "" || tracer != nil {
-		reg := obs.Default()
+	if reg != nil {
 		site.Instrument(reg, tracer)
 		srv.Instrument(reg)
 		if *debugAddr != "" {
@@ -93,6 +123,11 @@ func main() {
 	}
 	fmt.Printf("gridd: site %q with %d servers listening on %s\n", site.Name(), site.Servers(), l.Addr())
 
+	stopCkpt := make(chan struct{})
+	if wlog != nil && *ckptEvery > 0 {
+		go autoCheckpoint(site, *ckptEvery, stopCkpt)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()
 
@@ -112,12 +147,75 @@ func main() {
 		if err := srv.Shutdown(shutdownGrace); err != nil && !errors.Is(err, net.ErrClosed) {
 			fmt.Fprintln(os.Stderr, "gridd: shutdown:", err)
 		}
+		close(stopCkpt)
+		if wlog != nil {
+			// A final checkpoint bounds the next boot's replay to zero.
+			if err := site.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "gridd: final checkpoint:", err)
+			}
+			if err := wlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gridd: wal close:", err)
+			}
+		}
 		if *snapshot != "" {
 			if err := saveSite(*snapshot, site); err != nil {
 				fmt.Fprintln(os.Stderr, "gridd: snapshot:", err)
 				os.Exit(1)
 			}
 			fmt.Printf("gridd: state saved to %s\n", *snapshot)
+		}
+	}
+}
+
+// bootFromWAL opens the write-ahead log, reconstructs the site from its
+// latest checkpoint plus journal replay (falling back to fresh for a clean
+// boot), prints an fsck-style report, and attaches the log for journaling.
+func bootFromWAL(dir, syncFlag string, syncEvery time.Duration, reg *obs.Registry, fresh func() (*grid.Site, error)) (*grid.Site, *wal.Log, error) {
+	policy, err := wal.ParseSyncPolicy(syncFlag)
+	if err != nil {
+		return nil, nil, err
+	}
+	wlog, rec, err := wal.Open(dir, wal.Options{
+		Sync:      policy,
+		SyncEvery: syncEvery,
+		Metrics:   wal.NewMetrics(reg),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.TornTail != nil {
+		fmt.Printf("gridd: wal: %s\n", rec.TornTail)
+	}
+	site, replayed, err := grid.RecoverSite(rec.Checkpoint, rec.Records, fresh)
+	if err != nil {
+		wlog.Close()
+		return nil, nil, err
+	}
+	switch {
+	case rec.Checkpoint == nil && replayed == 0:
+		fmt.Printf("gridd: wal: clean boot (empty log in %s)\n", dir)
+	case rec.Checkpoint == nil:
+		fmt.Printf("gridd: wal: recovered by replaying %d records (no checkpoint)\n", replayed)
+	default:
+		fmt.Printf("gridd: wal: recovered from checkpoint (lsn %d) + %d replayed records\n",
+			rec.CheckpointLSN, replayed)
+	}
+	site.AttachWAL(wlog)
+	return site, wlog, nil
+}
+
+// autoCheckpoint periodically bounds replay time by cutting a checkpoint.
+func autoCheckpoint(site *grid.Site, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := site.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "gridd: auto-checkpoint:", err)
+			}
+		case <-stop:
+			return
 		}
 	}
 }
@@ -146,6 +244,10 @@ func loadOrCreateSite(path, name string, servers, tauMin, horizonHours int, now 
 	}, period.Time(now))
 }
 
+// saveSite writes the site snapshot with full crash discipline: the temp
+// file is fsynced before the rename and the parent directory after it, so a
+// power loss at any instant leaves either the old state file or the new one
+// — never a torn or missing one.
 func saveSite(path string, site *grid.Site) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -157,9 +259,22 @@ func saveSite(path string, site *grid.Site) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }

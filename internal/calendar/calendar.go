@@ -100,6 +100,12 @@ func (c *Calendar) newTree() *dtree.Tree {
 // visits, index probes) performed so far — the metric of Fig. 7(b).
 func (c *Calendar) Ops() uint64 { return c.ops }
 
+// SetOps overwrites the elementary-operation counter. WAL replay uses it to
+// reinstate the exact pre-crash value: the counter is history-dependent
+// (replaying an allocation does less search work than scheduling it did), so
+// each journal record carries the post-operation count instead.
+func (c *Calendar) SetOps(n uint64) { c.ops = n }
+
 // OpsBreakdown attributes the operation count to the scheduler phases. The
 // paper notes (§4.2) that the update work "may be implemented in the
 // background to minimize its impact on the performance of the scheduler";

@@ -109,5 +109,9 @@ func FromSnapshotData(s SnapshotData) (*Calendar, error) {
 		c.slots[abs%q] = dtree.New(&c.ops)
 		c.fillSlot(abs)
 	}
+	// Index rebuilding above counts tree insertions into c.ops; restoring a
+	// snapshot must not inflate the workload metric, so reinstate the
+	// captured value now that the trees share &c.ops for future work.
+	c.ops = s.Ops
 	return c, nil
 }

@@ -1,0 +1,19 @@
+package core
+
+// WAL-replay support. Recovering a crashed site (internal/grid) rebuilds
+// scheduler state by re-committing the exact allocations its journal
+// records, but two pieces of scheduler state are history-dependent and
+// cannot be reproduced by replay: the lifetime counters (a prepare that the
+// scheduler *rejected* still bumped Submitted/Rejected/TotalAttempts, yet
+// produced no journal record) and the calendar's elementary-operation
+// counter (replaying via Claim does less search work than Submit did). Each
+// journal record therefore carries the post-operation values, which replay
+// reinstates through these setters after applying the mutation.
+
+// RestoreStats overwrites the scheduler's lifetime counters with a recorded
+// snapshot. Replay-only; never call it on a live scheduler.
+func (s *Scheduler) RestoreStats(st Stats) { s.stats = st }
+
+// SetOps overwrites the calendar's elementary-operation counter with a
+// recorded value. Replay-only; never call it on a live scheduler.
+func (s *Scheduler) SetOps(n uint64) { s.cal.SetOps(n) }

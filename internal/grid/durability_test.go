@@ -1,0 +1,328 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coalloc/internal/period"
+	"coalloc/internal/wal"
+)
+
+// recordingWAL wraps a *wal.Log and remembers every payload the log
+// acknowledged, plus the one in-flight payload whose append failed — a
+// failed append may still have reached the disk in full (the crash can land
+// between the write and the acknowledgment), so recovery legitimately
+// surfaces either prefix.
+type recordingWAL struct {
+	log     *wal.Log
+	acked   [][]byte
+	pending []byte
+}
+
+func (r *recordingWAL) Append(p []byte) (uint64, error) {
+	cp := append([]byte(nil), p...)
+	lsn, err := r.log.Append(p)
+	if err != nil {
+		if r.pending == nil {
+			r.pending = cp
+		}
+		return lsn, err
+	}
+	r.acked = append(r.acked, cp)
+	return lsn, nil
+}
+
+func (r *recordingWAL) Checkpoint(snapshot []byte) error { return r.log.Checkpoint(snapshot) }
+
+const crashSiteServers = 8
+
+func freshCrashSite() (*Site, error) {
+	return NewSite("crash", siteConfig(crashSiteServers), 0)
+}
+
+func snapshotBytes(t *testing.T, s *Site) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// buildShadow replays the given journal payloads onto a fresh site — the
+// oracle a recovered site must match byte for byte.
+func buildShadow(t *testing.T, payloads [][]byte) *Site {
+	t.Helper()
+	s, err := freshCrashSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		op, err := DecodeOp(p)
+		if err != nil {
+			t.Fatalf("shadow: decode record %d: %v", i+1, err)
+		}
+		if err := s.ReplayOp(op); err != nil {
+			t.Fatalf("shadow: replay record %d (%s %q): %v", i+1, op.Kind, op.HoldID, err)
+		}
+	}
+	return s
+}
+
+// runCrashWorkload drives a deterministic randomized mix of prepares,
+// commits, aborts, probes (which expire stale leases), and checkpoints
+// against the site until steps run out or the injector trips. The clock is
+// monotone and checkpoints are cut only in the same step as a successful
+// journaled mutation, so a checkpoint never captures clock movement that no
+// record describes.
+func runCrashWorkload(site *Site, rw *recordingWAL, inj *wal.Injector, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	now := period.Time(0)
+	var issued []string
+	for i := 0; i < steps; i++ {
+		now = now.Add(period.Duration(rng.Int63n(600)))
+		ackedBefore := len(rw.acked)
+		switch op := rng.Intn(10); {
+		case op < 4: // prepare
+			id := fmt.Sprintf("h%04d", len(issued))
+			issued = append(issued, id)
+			start := now.Add(period.Duration(rng.Int63n(7200)))
+			dur := period.Duration(1+rng.Int63n(4)) * 15 * period.Minute
+			servers := 1 + rng.Intn(4)
+			lease := period.Duration(600 + rng.Int63n(1800))
+			site.Prepare(now, id, start, start.Add(dur), servers, lease)
+		case op < 6: // commit some previously issued hold (may be gone)
+			if len(issued) > 0 {
+				site.Commit(now, issued[rng.Intn(len(issued))])
+			}
+		case op < 8: // abort some previously issued hold (no-op if gone)
+			if len(issued) > 0 {
+				site.Abort(now, issued[rng.Intn(len(issued))])
+			}
+		default: // probe: advances the clock, expiring stale leases
+			site.Probe(now, now, now.Add(30*period.Minute))
+		}
+		if inj != nil && inj.Tripped() {
+			return
+		}
+		if len(rw.acked) > ackedBefore && rng.Intn(8) == 0 {
+			site.Checkpoint()
+			if inj != nil && inj.Tripped() {
+				return
+			}
+		}
+	}
+}
+
+// crashRun executes the seeded workload against a WAL whose writes die after
+// `budget` bytes, then recovers from the directory and returns the recovered
+// snapshot plus the recorder (for shadow construction).
+func crashRun(t *testing.T, seed int64, steps int, budget int64) (recovered []byte, rw *recordingWAL, durableRecords int) {
+	t.Helper()
+	dir := t.TempDir()
+	opt := wal.Options{SegmentSize: 1024, Sync: wal.SyncAlways}
+	var inj *wal.Injector
+	if budget >= 0 {
+		inj = wal.NewInjector(budget)
+		opt.Injector = inj
+	}
+	rw = &recordingWAL{}
+	wlog, _, err := wal.Open(dir, opt)
+	switch {
+	case err == nil:
+		site, err := freshCrashSite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw.log = wlog
+		site.AttachWAL(rw)
+		runCrashWorkload(site, rw, inj, seed, steps)
+		wlog.Close() // may fail once tripped; the files are what recovery reads
+	case inj != nil && inj.Tripped():
+		// The crash landed inside Open itself (segment-header creation):
+		// nothing was journaled, recovery must be a clean boot.
+	default:
+		t.Fatalf("open: %v", err)
+	}
+
+	relog, rec, err := wal.Open(dir, wal.Options{SegmentSize: 1024})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer relog.Close()
+	restored, replayed, err := RecoverSite(rec.Checkpoint, rec.Records, freshCrashSite)
+	if err != nil {
+		t.Fatalf("recover (ckpt=%v, %d records): %v", rec.Checkpoint != nil, len(rec.Records), err)
+	}
+	_ = replayed
+	return snapshotBytes(t, restored), rw, len(rec.Records)
+}
+
+// TestCrashRecoveryKillPoints is the durability acceptance test: for every
+// injected kill point across a randomized workload's full write history,
+// recovery (checkpoint + replay + torn-tail truncation) must yield a site
+// byte-identical to a shadow built from the acknowledged record prefix —
+// optionally plus the single in-flight record the crash may have landed
+// after (durable but unacknowledged).
+func TestCrashRecoveryKillPoints(t *testing.T) {
+	const (
+		seed  = 42
+		steps = 80
+	)
+	// Baseline: unlimited budget to learn the total bytes written.
+	baseInj := wal.NewInjector(math.MaxInt64)
+	dir := t.TempDir()
+	wlog, _, err := wal.Open(dir, wal.Options{SegmentSize: 1024, Sync: wal.SyncAlways, Injector: baseInj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := freshCrashSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := &recordingWAL{log: wlog}
+	site.AttachWAL(rw)
+	runCrashWorkload(site, rw, baseInj, seed, steps)
+	live := snapshotBytes(t, site)
+	wlog.Close()
+	total := baseInj.Written()
+	if total == 0 || len(rw.acked) == 0 {
+		t.Fatalf("degenerate baseline: %d bytes, %d records", total, len(rw.acked))
+	}
+	// Sanity: with no crash, the shadow replay reproduces the live site.
+	if got := snapshotBytes(t, buildShadow(t, rw.acked)); !bytes.Equal(got, live) {
+		t.Fatalf("shadow replay diverges from live site with no crash (%d records)", len(rw.acked))
+	}
+
+	step := total / 150
+	if step < 1 {
+		step = 1
+	}
+	points := 0
+	for budget := int64(1); budget <= total; budget += step {
+		recovered, run, nrec := crashRun(t, seed, steps, budget)
+		shadowAcked := snapshotBytes(t, buildShadow(t, run.acked))
+		if bytes.Equal(recovered, shadowAcked) {
+			points++
+			continue
+		}
+		if run.pending != nil {
+			withPending := append(append([][]byte{}, run.acked...), run.pending)
+			if bytes.Equal(recovered, snapshotBytes(t, buildShadow(t, withPending))) {
+				points++
+				continue
+			}
+		}
+		t.Fatalf("kill point at byte %d of %d: recovered state (%d durable records) matches neither the %d acknowledged records nor acknowledged+pending",
+			budget, total, nrec, len(run.acked))
+	}
+	t.Logf("verified %d kill points over %d journal bytes (%d records)", points, total, len(rw.acked))
+}
+
+// TestCrashRecoveryNoCrash closes the loop with an unbounded budget: a clean
+// run recovers to exactly the live state.
+func TestCrashRecoveryNoCrash(t *testing.T) {
+	recovered, run, _ := crashRun(t, 7, 60, -1)
+	if got := snapshotBytes(t, buildShadow(t, run.acked)); !bytes.Equal(recovered, got) {
+		t.Fatalf("clean-run recovery diverges from shadow (%d records)", len(run.acked))
+	}
+	if run.pending != nil {
+		t.Fatalf("clean run left a pending record")
+	}
+}
+
+func TestOpEncodeDecodeRoundTrip(t *testing.T) {
+	in := Op{Kind: OpPrepare, Now: 99, HoldID: "h1", Expires: 1234, SchedOps: 7}
+	in.Alloc.Servers = []int{2, 5}
+	in.Alloc.Start, in.Alloc.End = 900, 1800
+	b, err := EncodeOp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeOp(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.HoldID != in.HoldID || out.Expires != in.Expires ||
+		out.SchedOps != in.SchedOps || len(out.Alloc.Servers) != 2 {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if _, err := DecodeOp([]byte("garbage")); err == nil {
+		t.Fatal("decode of garbage succeeded")
+	}
+}
+
+func TestCheckpointWithoutWAL(t *testing.T) {
+	s := mustSite(t, "nowal", 4)
+	if err := s.Checkpoint(); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Checkpoint without WAL = %v, want ErrNoWAL", err)
+	}
+}
+
+// failingWAL rejects every append, simulating a dead disk.
+type failingWAL struct{ calls int }
+
+func (f *failingWAL) Append([]byte) (uint64, error) {
+	f.calls++
+	return 0, errors.New("disk on fire")
+}
+func (f *failingWAL) Checkpoint([]byte) error { return errors.New("disk on fire") }
+
+func TestJournalFailurePoisonsSite(t *testing.T) {
+	s := mustSite(t, "poison", 4)
+	fw := &failingWAL{}
+	s.AttachWAL(fw)
+	_, err := s.Prepare(0, "h1", 0, 900, 1, 600)
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("Prepare with failing WAL = %v, want journal error", err)
+	}
+	// Every later mutation must fail fast without touching the journal again.
+	callsAfterFirst := fw.calls
+	if _, err := s.Prepare(1, "h2", 100, 1000, 1, 600); err == nil {
+		t.Fatal("Prepare on poisoned site succeeded")
+	}
+	if err := s.Commit(1, "h1"); err == nil {
+		t.Fatal("Commit on poisoned site succeeded")
+	}
+	if err := s.Abort(1, "h1"); err == nil {
+		t.Fatal("Abort on poisoned site succeeded")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on poisoned site succeeded")
+	}
+	if fw.calls != callsAfterFirst {
+		t.Fatalf("poisoned site touched the journal %d more times", fw.calls-callsAfterFirst)
+	}
+	// Reads still work; memory is ahead of durable state (the unacknowledged
+	// hold remains visible) until a restart recovers the durable prefix.
+	if got := s.PendingHolds(); got != 1 {
+		t.Fatalf("poisoned site reports %d pending holds, want 1", got)
+	}
+}
+
+func TestRecoverSiteEmptyIsCleanBoot(t *testing.T) {
+	s, n, err := RecoverSite(nil, nil, freshCrashSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records from empty recovery", n)
+	}
+	if !bytes.Equal(snapshotBytes(t, s), snapshotBytes(t, mustFresh(t))) {
+		t.Fatal("empty recovery differs from a fresh site")
+	}
+}
+
+func mustFresh(t *testing.T) *Site {
+	t.Helper()
+	s, err := freshCrashSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

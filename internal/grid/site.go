@@ -52,6 +52,10 @@ type Site struct {
 	holds  map[string]Hold
 	tracer obs.Tracer // optional; see Instrument
 
+	// durability; see durability.go
+	wal    WAL   // optional journal; see AttachWAL
+	walErr error // sticky journal failure: the site refuses mutations
+
 	// stats
 	prepared, committed, aborted, expired uint64
 }
@@ -72,8 +76,13 @@ func (s *Site) Name() string { return s.name }
 // Servers returns the site's capacity.
 func (s *Site) Servers() int { return s.sched.Config().Servers }
 
-// advanceLocked moves the site clock and lazily expires stale holds.
+// advanceLocked moves the site clock and lazily expires stale holds. Each
+// expiry is a state mutation and is journaled; once the journal has failed
+// the site freezes instead, so memory drifts no further from durable state.
 func (s *Site) advanceLocked(now period.Time) {
+	if s.wal != nil && s.walErr != nil {
+		return
+	}
 	s.sched.Advance(now)
 	for id, h := range s.holds {
 		if h.Expires <= now {
@@ -83,6 +92,9 @@ func (s *Site) advanceLocked(now period.Time) {
 				s.event(obs.EventExpire, slog.String("hold", id), slog.Int64("expired", int64(h.Expires)))
 			}
 			delete(s.holds, id)
+			if err := s.appendOpLocked(Op{Kind: OpExpire, Now: now, HoldID: id}); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -108,6 +120,9 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
+	if err := s.walOKLocked(); err != nil {
+		return nil, err
+	}
 	if _, dup := s.holds[holdID]; dup {
 		return nil, fmt.Errorf("grid %s: hold %q already exists", s.name, holdID)
 	}
@@ -127,8 +142,12 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 	if err != nil {
 		return nil, fmt.Errorf("grid %s: cannot prepare %d servers at [%d,%d): %w", s.name, servers, start, end, err)
 	}
-	s.holds[holdID] = Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
+	hold := Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
+	s.holds[holdID] = hold
 	s.prepared++
+	if err := s.appendOpLocked(Op{Kind: OpPrepare, Now: now, HoldID: holdID, Alloc: alloc, Expires: hold.Expires}); err != nil {
+		return nil, err
+	}
 	s.event(obs.EventPrepare,
 		slog.String("hold", holdID),
 		slog.Int("servers", servers),
@@ -154,11 +173,17 @@ func (s *Site) Commit(now period.Time, holdID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
+	if err := s.walOKLocked(); err != nil {
+		return err
+	}
 	if _, ok := s.holds[holdID]; !ok {
 		return fmt.Errorf("grid %s: commit of unknown or expired hold %q", s.name, holdID)
 	}
 	delete(s.holds, holdID)
 	s.committed++
+	if err := s.appendOpLocked(Op{Kind: OpCommit, Now: now, HoldID: holdID}); err != nil {
+		return err
+	}
 	s.event(obs.EventCommit, slog.String("hold", holdID))
 	return nil
 }
@@ -169,15 +194,26 @@ func (s *Site) Abort(now period.Time, holdID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked(now)
+	if err := s.walOKLocked(); err != nil {
+		return err
+	}
 	h, ok := s.holds[holdID]
 	if !ok {
 		return nil
 	}
 	delete(s.holds, holdID)
-	if err := s.sched.Release(h.Alloc, h.Alloc.Start); err != nil {
-		return fmt.Errorf("grid %s: abort release: %v", s.name, err)
+	releaseErr := s.sched.Release(h.Alloc, h.Alloc.Start)
+	if releaseErr == nil {
+		s.aborted++
 	}
-	s.aborted++
+	// The hold is gone either way, so the mutation is journaled either way;
+	// replay mirrors the same delete-then-try-release sequence.
+	if err := s.appendOpLocked(Op{Kind: OpAbort, Now: now, HoldID: holdID}); err != nil {
+		return err
+	}
+	if releaseErr != nil {
+		return fmt.Errorf("grid %s: abort release: %v", s.name, releaseErr)
+	}
 	s.event(obs.EventAbort, slog.String("hold", holdID))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"coalloc/internal/core"
 )
@@ -29,6 +30,13 @@ type siteSnapshot struct {
 func (s *Site) Snapshot(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked(w)
+}
+
+// snapshotLocked serializes the site; the caller holds s.mu. Holds are
+// sorted by ID so identical logical state always yields identical bytes —
+// the property the WAL crash tests assert and checkpoints rely on.
+func (s *Site) snapshotLocked(w io.Writer) error {
 	var sched bytes.Buffer
 	if err := s.sched.Snapshot(&sched); err != nil {
 		return fmt.Errorf("grid %s: snapshot: %w", s.name, err)
@@ -45,6 +53,7 @@ func (s *Site) Snapshot(w io.Writer) error {
 	for _, h := range s.holds {
 		snap.Holds = append(snap.Holds, h)
 	}
+	sort.Slice(snap.Holds, func(i, j int) bool { return snap.Holds[i].ID < snap.Holds[j].ID })
 	return gob.NewEncoder(w).Encode(snap)
 }
 

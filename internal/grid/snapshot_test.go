@@ -2,6 +2,8 @@ package grid
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"coalloc/internal/period"
@@ -74,6 +76,91 @@ func TestSiteSnapshotLeaseExpiresAcrossRestart(t *testing.T) {
 	if err := restored.Commit(after, "h"); err == nil {
 		t.Fatal("commit of lease-expired hold accepted after restart")
 	}
+	// The expiry is counted exactly as if the site had stayed up.
+	if _, _, _, expired := restored.Stats(); expired != 1 {
+		t.Fatalf("expired counter after restart = %d, want 1", expired)
+	}
+}
+
+// TestSnapshotDeterministic asserts that one logical state always serializes
+// to one byte sequence, regardless of map iteration order — the property
+// WAL checkpoints and the crash-recovery byte-identity tests rest on.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Site {
+		s := mustSite(t, "det", 8)
+		for i := 0; i < 6; i++ {
+			id := string(rune('a' + i))
+			if _, err := s.Prepare(0, id, 100, 4000, 1, period.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	var first bytes.Buffer
+	if err := build().Snapshot(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := build().Snapshot(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("snapshot bytes differ across identical builds (attempt %d)", i)
+		}
+	}
+}
+
+// TestSnapshotUnderConcurrentTraffic snapshots a site while goroutines hammer
+// it with the full protocol mix; every snapshot must restore cleanly and
+// describe a consistent state (no half-applied hold, no torn counters).
+// Run with -race to also catch unsynchronized access.
+func TestSnapshotUnderConcurrentTraffic(t *testing.T) {
+	s := mustSite(t, "busy", 16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := period.Time(i * 10)
+				id := fmt.Sprintf("g%d-%d", g, i)
+				if _, err := s.Prepare(now, id, now+100, now+1000, 1, 30*period.Minute); err != nil {
+					continue
+				}
+				switch i % 3 {
+				case 0:
+					s.Commit(now, id)
+				case 1:
+					s.Abort(now, id)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		restored, err := RestoreSite(&buf)
+		if err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+		// Counter invariant: every prepared hold is still pending or was
+		// decided (committed, aborted, or expired) — never lost in between.
+		p, c, a, e := restored.Stats()
+		if decided := c + a + e + uint64(restored.PendingHolds()); decided != p {
+			t.Fatalf("snapshot %d torn: prepared=%d but committed+aborted+expired+pending=%d", i, p, decided)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestRestoreSiteGarbage(t *testing.T) {

@@ -232,17 +232,23 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	defer h.mu.Unlock()
 	merged, total := h.mergedLocked()
 	return HistogramSnapshot{
-		Count: h.count,
-		Sum:   h.sum,
-		P50:   h.quantileOf(merged, total, 0.50),
-		P95:   h.quantileOf(merged, total, 0.95),
-		P99:   h.quantileOf(merged, total, 0.99),
+		Count:       h.count,
+		WindowCount: total,
+		Sum:         h.sum,
+		P50:         h.quantileOf(merged, total, 0.50),
+		P95:         h.quantileOf(merged, total, 0.95),
+		P99:         h.quantileOf(merged, total, 0.99),
 	}
 }
 
-// HistogramSnapshot is a point-in-time view of a Histogram.
+// HistogramSnapshot is a point-in-time view of a Histogram. WindowCount is
+// the number of observations inside the lookback window the quantiles are
+// computed over; when it is zero the quantiles are meaningless (the zeros
+// are placeholders, not measurements) and renderers must say so rather than
+// report a false 0s latency.
 type HistogramSnapshot struct {
 	Count         uint64
+	WindowCount   uint64
 	Sum           time.Duration
 	P50, P95, P99 time.Duration
 }

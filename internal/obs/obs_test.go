@@ -230,3 +230,47 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("counter = %d, want 4000", got)
 	}
 }
+
+// TestEmptyHistogramRendering covers the n=0 case: a registered histogram
+// that has never observed anything (a freshly attached WAL, say) must not
+// report fabricated 0s quantiles — Prometheus gets NaN, JSON omits the keys.
+func TestEmptyHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("wal.append.latency")
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		`wal_append_latency{quantile="0.5"} NaN`,
+		`wal_append_latency{quantile="0.99"} NaN`,
+		"wal_append_latency_count 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	var ev bytes.Buffer
+	if err := r.WriteExpvar(&ev); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(ev.Bytes(), &obj); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, ev.String())
+	}
+	hist, ok := obj["wal.append.latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar histogram = %v", obj["wal.append.latency"])
+	}
+	if hist["count"] != float64(0) {
+		t.Errorf("empty histogram count = %v", hist["count"])
+	}
+	for _, k := range []string{"p50_seconds", "p95_seconds", "p99_seconds"} {
+		if _, present := hist[k]; present {
+			t.Errorf("empty histogram leaked quantile key %q", k)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -199,13 +200,18 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 		case kindFunc:
 			obj[se.name] = se.f
 		case kindHistogram:
-			obj[se.name] = map[string]any{
+			m := map[string]any{
 				"count":       se.hist.Count,
 				"sum_seconds": se.hist.Sum.Seconds(),
-				"p50_seconds": se.hist.P50.Seconds(),
-				"p95_seconds": se.hist.P95.Seconds(),
-				"p99_seconds": se.hist.P99.Seconds(),
 			}
+			// JSON has no NaN: with an empty window the quantile keys are
+			// omitted entirely rather than reported as a bogus 0s.
+			if se.hist.WindowCount > 0 {
+				m["p50_seconds"] = se.hist.P50.Seconds()
+				m["p95_seconds"] = se.hist.P95.Seconds()
+				m["p99_seconds"] = se.hist.P99.Seconds()
+			}
+			obj[se.name] = m
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -251,12 +257,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindFunc:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, se.f)
 		case kindHistogram:
+			// An empty window has no quantiles: Prometheus summaries report
+			// NaN in that case, never a fabricated 0s latency.
+			p50, p95, p99 := se.hist.P50.Seconds(), se.hist.P95.Seconds(), se.hist.P99.Seconds()
+			if se.hist.WindowCount == 0 {
+				p50, p95, p99 = math.NaN(), math.NaN(), math.NaN()
+			}
 			_, err = fmt.Fprintf(w,
 				"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
 				name,
-				name, se.hist.P50.Seconds(),
-				name, se.hist.P95.Seconds(),
-				name, se.hist.P99.Seconds(),
+				name, p50,
+				name, p95,
+				name, p99,
 				name, se.hist.Sum.Seconds(),
 				name, se.hist.Count)
 		}

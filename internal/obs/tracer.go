@@ -24,6 +24,9 @@ const (
 	EventCommit  = "commit"
 	EventAbort   = "abort"
 	EventExpire  = "expire"
+
+	// EventCheckpoint marks a durable cut of site state into its WAL.
+	EventCheckpoint = "checkpoint"
 )
 
 // Tracer receives structured per-request events. Implementations must be

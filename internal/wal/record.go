@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Record framing. Every record is stored as
+//
+//	[4 bytes] payload length, little endian
+//	[4 bytes] CRC32-C (Castagnoli) of the payload, little endian
+//	[n bytes] payload
+//
+// The frame carries no sequence number: a record's LSN is implicit in its
+// position (the segment header names the LSN of the segment's first record).
+// A record is valid only if its full frame is present and the checksum
+// matches; anything else is a torn tail — the truncated remains of an append
+// that a crash interrupted — and recovery discards it and everything after.
+
+// frameHeaderSize is the fixed per-record overhead.
+const frameHeaderSize = 8
+
+// MaxRecord bounds a single record's payload, protecting recovery from
+// allocating huge buffers when a corrupt length prefix is read.
+const MaxRecord = 16 << 20
+
+// castagnoli is the CRC32-C table used for every checksum in the log.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed record for payload to buf and returns the
+// extended slice.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// frameSize returns the on-disk size of a record with the given payload
+// length.
+func frameSize(payloadLen int) int64 { return int64(frameHeaderSize + payloadLen) }
+
+// scanRecords walks the framed records in b, invoking fn with each valid
+// payload in order. The returned consumed count is the byte length of the
+// valid prefix; reason is empty when the whole buffer parsed cleanly and
+// otherwise names why the tail starting at consumed is invalid. The payload
+// passed to fn aliases b; callers that retain it must copy. If fn returns an
+// error the scan stops and that error is returned.
+func scanRecords(b []byte, fn func(payload []byte) error) (consumed int64, records uint64, reason string, err error) {
+	off := 0
+	for off < len(b) {
+		rem := b[off:]
+		if len(rem) < frameHeaderSize {
+			return int64(off), records, "short frame header", nil
+		}
+		n := binary.LittleEndian.Uint32(rem[0:4])
+		if n > MaxRecord {
+			return int64(off), records, "oversized record length", nil
+		}
+		if uint32(len(rem)-frameHeaderSize) < n {
+			return int64(off), records, "short payload", nil
+		}
+		payload := rem[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rem[4:8]) {
+			return int64(off), records, "checksum mismatch", nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return int64(off), records, "", err
+			}
+		}
+		off += frameHeaderSize + int(n)
+		records++
+	}
+	return int64(off), records, "", nil
+}

@@ -1,0 +1,561 @@
+// Package wal is a self-contained write-ahead log: length-prefixed,
+// CRC32-C-framed records appended to rotating segment files, with a
+// pluggable fsync policy, checkpointing (write a full application snapshot,
+// then truncate the segments it covers), and torn-tail detection on
+// recovery.
+//
+// The log stores opaque payloads; internal/grid encodes site mutations into
+// it so a crashed site daemon can reconstruct its exact pre-crash state:
+// restore the latest checkpoint, replay every record after it, and discard
+// the torn remains of the append a crash interrupted. Records are numbered
+// by LSN (log sequence number, 1-based); a checkpoint covers every LSN up
+// to and including its own.
+//
+// On disk a log directory holds:
+//
+//	wal-<firstLSN>.seg   segment: 16-byte header, then framed records
+//	wal-<coveredLSN>.ckpt checkpoint: header + checksummed snapshot payload
+//
+// Durability discipline: checkpoints are written to a temp file, fsynced,
+// renamed into place, and the directory fsynced before any segment is
+// deleted, so recovery always finds either the old (checkpoint, segments)
+// pair or the new one, never neither.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// On-disk magics; 8 bytes each.
+const (
+	segMagic  = "CWALSEG1"
+	ckptMagic = "CWALCKP1"
+)
+
+// segHeaderSize is the segment file header: magic plus the LSN of the
+// segment's first record.
+const segHeaderSize = 16
+
+// ckptHeaderSize is the checkpoint file header: magic, covered LSN, payload
+// length, payload CRC32-C.
+const ckptHeaderSize = 24
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery, piggybacked
+	// on appends (plus Sync and Close). Bounded data loss, amortized cost.
+	SyncInterval
+	// SyncNone never fsyncs on append; the OS flushes when it pleases.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spellings "always", "interval", and "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// String renders the flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return "always"
+	}
+}
+
+// Options tunes a Log. The zero value is usable: 4 MiB segments, fsync on
+// every append, no telemetry.
+type Options struct {
+	SegmentSize int64         // rotate the active segment past this size; default 4 MiB
+	Sync        SyncPolicy    // when appends reach stable storage
+	SyncEvery   time.Duration // SyncInterval cadence; default 100ms
+	Metrics     *Metrics      // optional telemetry (see NewMetrics)
+	Injector    *Injector     // crash injection for tests; nil in production
+}
+
+// TornTail describes the invalid bytes recovery found (and discarded) at the
+// end of the log — the footprint of an append interrupted by a crash.
+type TornTail struct {
+	Segment string // file name of the damaged segment
+	Offset  int64  // byte offset of the first invalid byte
+	Dropped int64  // bytes discarded from Offset on
+	Reason  string // why the tail failed to parse
+}
+
+func (t *TornTail) String() string {
+	return fmt.Sprintf("torn tail in %s at byte %d: %s (%d bytes dropped)", t.Segment, t.Offset, t.Reason, t.Dropped)
+}
+
+// Recovery is what Open reconstructs from an existing log directory.
+type Recovery struct {
+	Checkpoint    []byte   // latest durable checkpoint payload; nil if none
+	CheckpointLSN uint64   // records covered by the checkpoint (0 if none)
+	Records       [][]byte // durable record payloads after the checkpoint, in LSN order
+	NextLSN       uint64   // LSN the next append will receive
+	TornTail      *TornTail
+	Segments      int // live segment files after tail repair
+}
+
+// segInfo tracks one live segment.
+type segInfo struct {
+	name  string
+	first uint64 // LSN of the segment's first record
+	size  int64  // valid bytes (header included)
+}
+
+// Log is an append-only write-ahead log rooted in one directory. It is safe
+// for concurrent use. After any I/O error the log is poisoned: every later
+// operation returns the original error, because a partially written frame
+// makes further appends unrecoverable. The caller restarts and re-opens.
+type Log struct {
+	mu  sync.Mutex
+	dir string
+	opt Options
+
+	f        *os.File // active segment
+	segs     []segInfo
+	nextLSN  uint64
+	lastSync time.Time
+	dirty    bool
+	err      error // sticky
+	closed   bool
+	scratch  []byte
+}
+
+func segName(first uint64) string  { return fmt.Sprintf("wal-%016x.seg", first) }
+func ckptName(cover uint64) string { return fmt.Sprintf("wal-%016x.ckpt", cover) }
+
+// fsyncDir flushes directory metadata (file creation, rename, deletion).
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Open scans dir (creating it if missing), repairs a torn tail, and returns
+// the log positioned for appending plus everything a caller needs to rebuild
+// state: the newest durable checkpoint and the records after it. An empty or
+// missing directory is a clean boot: no checkpoint, no records.
+func Open(dir string, opt Options) (*Log, *Recovery, error) {
+	if opt.SegmentSize <= segHeaderSize {
+		opt.SegmentSize = 4 << 20
+	}
+	if opt.SyncEvery <= 0 {
+		opt.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	var segNames, ckptNames []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name)) // leftover from an interrupted checkpoint
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			segNames = append(segNames, name)
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".ckpt"):
+			ckptNames = append(ckptNames, name)
+		}
+	}
+
+	rec := &Recovery{NextLSN: 1}
+
+	// Newest structurally valid checkpoint wins; damaged ones are skipped.
+	sort.Sort(sort.Reverse(sort.StringSlice(ckptNames)))
+	for _, name := range ckptNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		cover, payload, perr := parseCheckpoint(data)
+		if perr != nil {
+			continue
+		}
+		rec.Checkpoint = payload
+		rec.CheckpointLSN = cover
+		rec.NextLSN = cover + 1
+		break
+	}
+
+	// Scan segments in LSN order, collecting record payloads past the
+	// checkpoint. Anything after the first damage is dropped: records
+	// beyond a tear were never acknowledged.
+	sort.Strings(segNames)
+	var segs []segInfo
+	expect := rec.CheckpointLSN + 1
+	for _, name := range segNames {
+		path := filepath.Join(dir, name)
+		if rec.TornTail != nil {
+			os.Remove(path)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		first, ok := parseSegHeader(data)
+		bad := ""
+		switch {
+		case !ok:
+			bad = "invalid segment header"
+		case len(segs) > 0 && first != expect:
+			bad = "segment sequence gap"
+		case len(segs) == 0 && first > expect:
+			// Records between the checkpoint and this segment are missing.
+			bad = "orphan segment past a hole"
+		}
+		if bad != "" {
+			rec.TornTail = &TornTail{Segment: name, Offset: 0, Dropped: int64(len(data)), Reason: bad}
+			os.Remove(path)
+			continue
+		}
+		lsn := first
+		consumed, n, reason, _ := scanRecords(data[segHeaderSize:], func(p []byte) error {
+			if lsn > rec.CheckpointLSN {
+				rec.Records = append(rec.Records, append([]byte(nil), p...))
+			}
+			lsn++
+			return nil
+		})
+		size := segHeaderSize + consumed
+		if reason != "" {
+			rec.TornTail = &TornTail{Segment: name, Offset: size, Dropped: int64(len(data)) - size, Reason: reason}
+			if err := os.Truncate(path, size); err != nil {
+				return nil, nil, fmt.Errorf("wal: repair %s: %w", name, err)
+			}
+		}
+		segs = append(segs, segInfo{name: name, first: first, size: size})
+		expect = first + n
+		if expect > rec.NextLSN {
+			rec.NextLSN = expect
+		}
+	}
+
+	l := &Log{dir: dir, opt: opt, segs: segs, nextLSN: rec.NextLSN, lastSync: time.Now()}
+	if len(segs) == 0 {
+		if err := l.newSegmentLocked(); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		active := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, active.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+	}
+	rec.Segments = len(l.segs)
+	opt.Metrics.setSegments(len(l.segs))
+	return l, rec, nil
+}
+
+// parseSegHeader validates a segment header and returns its first LSN.
+func parseSegHeader(data []byte) (first uint64, ok bool) {
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[8:16]), true
+}
+
+// parseCheckpoint validates a checkpoint file and returns the LSN it covers
+// and its snapshot payload. It never panics, whatever the input.
+func parseCheckpoint(data []byte) (cover uint64, payload []byte, err error) {
+	if len(data) < ckptHeaderSize {
+		return 0, nil, fmt.Errorf("wal: checkpoint too short")
+	}
+	if string(data[:8]) != ckptMagic {
+		return 0, nil, fmt.Errorf("wal: bad checkpoint magic")
+	}
+	cover = binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint32(data[16:20])
+	if uint64(n) != uint64(len(data)-ckptHeaderSize) {
+		return 0, nil, fmt.Errorf("wal: checkpoint length mismatch")
+	}
+	payload = data[ckptHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[20:24]) {
+		return 0, nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	return cover, payload, nil
+}
+
+// newSegmentLocked starts a fresh active segment whose first record will be
+// l.nextLSN. The caller holds the log's state (Log methods serialize through
+// the site or their own callers; Log itself has no internal goroutines).
+func (l *Log) newSegmentLocked() error {
+	name := segName(l.nextLSN)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return l.fail(err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], l.nextLSN)
+	if _, err := l.opt.Injector.write(f, hdr[:]); err != nil {
+		f.Close()
+		return l.fail(err)
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return l.fail(err)
+	}
+	l.f = f
+	l.segs = append(l.segs, segInfo{name: name, first: l.nextLSN, size: segHeaderSize})
+	l.opt.Metrics.setSegments(len(l.segs))
+	return nil
+}
+
+// fail poisons the log with err and returns the wrapped error.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return fmt.Errorf("wal: %w", err)
+}
+
+// syncDir flushes the log directory's metadata, honoring crash injection.
+func (l *Log) syncDir() error {
+	if l.opt.Injector.Tripped() {
+		return ErrInjected
+	}
+	return fsyncDir(l.dir)
+}
+
+// Append writes one record and returns its LSN. Whether the record is on
+// stable storage when Append returns depends on the sync policy.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return 0, fmt.Errorf("wal: %w", l.err)
+	}
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	active := &l.segs[len(l.segs)-1]
+	if active.size+frameSize(len(payload)) > l.opt.SegmentSize && active.size > segHeaderSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+		active = &l.segs[len(l.segs)-1]
+	}
+	t0 := time.Now()
+	l.scratch = appendFrame(l.scratch[:0], payload)
+	n, err := l.opt.Injector.write(l.f, l.scratch)
+	active.size += int64(n)
+	if err != nil {
+		return 0, l.fail(err)
+	}
+	l.opt.Metrics.observeAppend(t0, frameSize(len(payload)))
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.dirty = true
+	switch l.opt.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opt.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and starts a new one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	return l.newSegmentLocked()
+}
+
+// syncLocked fsyncs the active segment if it has unflushed appends.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.opt.Injector.sync(l.f); err != nil {
+		return l.fail(err)
+	}
+	l.opt.Metrics.observeFsync(t0)
+	l.lastSync = time.Now()
+	l.dirty = false
+	return nil
+}
+
+// Sync forces unflushed appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("wal: %w", l.err)
+	}
+	return l.syncLocked()
+}
+
+// Checkpoint makes snapshot the log's new recovery baseline: it covers every
+// record appended so far, so once the checkpoint is durable all current
+// segments are deleted and a fresh one is started. The write is atomic —
+// temp file, fsync, rename, directory fsync — so a crash at any point leaves
+// either the previous baseline or the new one intact.
+//
+// Callers must prevent concurrent Appends (internal/grid holds the site lock
+// across snapshot and checkpoint), otherwise a record appended between
+// snapshot and checkpoint would be wrongly truncated.
+func (l *Log) Checkpoint(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("wal: %w", l.err)
+	}
+	t0 := time.Now()
+	cover := l.nextLSN - 1
+
+	hdr := make([]byte, ckptHeaderSize)
+	copy(hdr[:8], ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], cover)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(snapshot)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(snapshot, castagnoli))
+
+	tmp := filepath.Join(l.dir, "wal-checkpoint.tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return l.fail(err)
+	}
+	if _, err := l.opt.Injector.write(f, hdr); err == nil {
+		_, err = l.opt.Injector.write(f, snapshot)
+	}
+	if err == nil {
+		err = l.opt.Injector.sync(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return l.fail(err)
+	}
+	final := filepath.Join(l.dir, ckptName(cover))
+	if l.opt.Injector.Tripped() {
+		return l.fail(ErrInjected)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return l.fail(err)
+	}
+	if err := l.syncDir(); err != nil {
+		return l.fail(err)
+	}
+
+	// The new baseline is durable: drop every covered segment and stale
+	// checkpoint, then start a fresh segment.
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	for _, sg := range l.segs {
+		os.Remove(filepath.Join(l.dir, sg.name))
+	}
+	l.segs = l.segs[:0]
+	if entries, err := os.ReadDir(l.dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, ".ckpt") && name != ckptName(cover) {
+				os.Remove(filepath.Join(l.dir, name))
+			}
+		}
+	}
+	l.dirty = false
+	if err := l.newSegmentLocked(); err != nil {
+		return err
+	}
+	l.opt.Metrics.observeCheckpoint(t0)
+	return nil
+}
+
+// NextLSN returns the sequence number the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes and releases the active segment. The log is unusable after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.err == nil {
+		err = l.syncLocked()
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && l.err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

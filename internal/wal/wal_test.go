@@ -1,0 +1,312 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func TestEmptyDirIsCleanBoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "does", "not", "exist", "yet")
+	l, rec := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if rec.Checkpoint != nil || len(rec.Records) != 0 || rec.TornTail != nil {
+		t.Fatalf("empty dir recovery not clean: %+v", rec)
+	}
+	if rec.NextLSN != 1 {
+		t.Fatalf("NextLSN = %d, want 1", rec.NextLSN)
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	var want [][]byte
+	for i := 0; i < 25; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i*7)))
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		want = append(want, p)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if rec.TornTail != nil {
+		t.Fatalf("unexpected torn tail: %v", rec.TornTail)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if rec.NextLSN != uint64(len(want)+1) {
+		t.Fatalf("NextLSN = %d, want %d", rec.NextLSN, len(want)+1)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentSize: 64})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{'x'}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 5 {
+		t.Fatalf("segments = %d, want rotation to several", l.Segments())
+	}
+	l.Close()
+
+	l2, rec := mustOpen(t, dir, Options{SegmentSize: 64})
+	defer l2.Close()
+	if len(rec.Records) != 20 || rec.TornTail != nil {
+		t.Fatalf("recovered %d records (torn=%v), want 20 clean", len(rec.Records), rec.TornTail)
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentSize: 64})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("aaaaaaaaaaaaaaaaaaaa")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := []byte("state-after-ten")
+	if err := l.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1", l.Segments())
+	}
+	if _, err := l.Append([]byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, rec := mustOpen(t, dir, Options{SegmentSize: 64})
+	defer l2.Close()
+	if !bytes.Equal(rec.Checkpoint, snap) {
+		t.Fatalf("checkpoint payload = %q, want %q", rec.Checkpoint, snap)
+	}
+	if rec.CheckpointLSN != 10 {
+		t.Fatalf("checkpoint lsn = %d, want 10", rec.CheckpointLSN)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "post-checkpoint" {
+		t.Fatalf("post-checkpoint records = %q", rec.Records)
+	}
+	if rec.NextLSN != 12 {
+		t.Fatalf("NextLSN = %d, want 12", rec.NextLSN)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: garbage after the last full record.
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec := mustOpen(t, dir, Options{})
+	if rec.TornTail == nil {
+		t.Fatal("torn tail not detected")
+	}
+	if rec.TornTail.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.TornTail.Dropped)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rec.Records))
+	}
+	// The repaired log must accept appends and recover cleanly afterwards.
+	if _, err := l2.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, rec3 := mustOpen(t, dir, Options{})
+	defer l3.Close()
+	if rec3.TornTail != nil || len(rec3.Records) != 4 {
+		t.Fatalf("post-repair recovery: %d records, torn=%v", len(rec3.Records), rec3.TornTail)
+	}
+}
+
+func TestCorruptRecordMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip one payload byte of the third record: everything from there on is
+	// untrusted and must be dropped.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := segHeaderSize + 2*(frameHeaderSize+10) + frameHeaderSize + 4
+	data[off] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if rec.TornTail == nil || rec.TornTail.Reason != "checksum mismatch" {
+		t.Fatalf("torn tail = %v, want checksum mismatch", rec.TornTail)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(rec.Records))
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint([]byte("good-snap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// A later, corrupt checkpoint must be ignored in favor of the good one.
+	if err := os.WriteFile(filepath.Join(dir, ckptName(99)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if !bytes.Equal(rec.Checkpoint, []byte("good-snap")) || rec.CheckpointLSN != 1 {
+		t.Fatalf("fell back wrong: lsn=%d payload=%q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "two" {
+		t.Fatalf("records = %q", rec.Records)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// The rejection must not poison the log.
+	if _, err := l.Append([]byte("fine")); err != nil {
+		t.Fatalf("log poisoned by rejected record: %v", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{Sync: p, SyncEvery: time.Millisecond})
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append([]byte("payload")); err != nil {
+				t.Fatalf("policy %v: %v", p, err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		l.Close()
+		l2, rec := mustOpen(t, dir, Options{})
+		if len(rec.Records) != 10 {
+			t.Fatalf("policy %v: recovered %d records", p, len(rec.Records))
+		}
+		l2.Close()
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "Interval": SyncInterval, " none ": SyncNone, "": SyncAlways,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestInjectedCrashPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(200)
+	l, _, err := Open(dir, Options{Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var durable int
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		durable++
+	}
+	if durable == 100 {
+		t.Fatal("injector never fired")
+	}
+	// Every operation after the crash fails.
+	if _, err := l.Append([]byte("late")); err == nil {
+		t.Fatal("append succeeded on poisoned log")
+	}
+	if err := l.Checkpoint([]byte("late")); err == nil {
+		t.Fatal("checkpoint succeeded on poisoned log")
+	}
+
+	// Recovery sees exactly the durable prefix.
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != durable {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), durable)
+	}
+}

@@ -64,6 +64,14 @@ type InfoReply struct {
 	Servers int
 }
 
+// CheckpointArgs requests a durable cut: the site snapshots itself into its
+// write-ahead log and truncates the journal segments the snapshot covers.
+type CheckpointArgs struct{}
+
+// CheckpointReply is empty; errors (including "no WAL attached") travel on
+// the RPC error channel.
+type CheckpointReply struct{}
+
 // StatsArgs requests the site's live counters.
 type StatsArgs struct{}
 
@@ -82,7 +90,7 @@ type svcMetrics struct {
 }
 
 // serviceMethods names every RPC method, for metric registration.
-var serviceMethods = []string{"Probe", "Prepare", "Commit", "Abort", "Info", "Stats"}
+var serviceMethods = []string{"Probe", "Prepare", "Commit", "Abort", "Info", "Stats", "Checkpoint"}
 
 func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	m := &svcMetrics{
@@ -169,6 +177,15 @@ func (s *Service) Stats(_ StatsArgs, reply *StatsReply) error {
 	return s.m.observe("Stats", func() error {
 		reply.Status = s.site.Status()
 		return nil
+	})
+}
+
+// Checkpoint implements the RPC method: it forces a durable cut of site
+// state into the write-ahead log, so operators (gridctl checkpoint) can
+// bound replay time without restarting the daemon.
+func (s *Service) Checkpoint(_ CheckpointArgs, _ *CheckpointReply) error {
+	return s.m.observe("Checkpoint", func() error {
+		return s.site.Checkpoint()
 	})
 }
 
@@ -378,6 +395,11 @@ func (c *Client) Commit(now period.Time, holdID string) error {
 // Abort implements grid.Conn.
 func (c *Client) Abort(now period.Time, holdID string) error {
 	return c.call("Abort", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+}
+
+// Checkpoint asks the site for a durable cut of its state into its WAL.
+func (c *Client) Checkpoint() error {
+	return c.call("Checkpoint", CheckpointArgs{}, &CheckpointReply{})
 }
 
 // Stats fetches the site's live counters.
