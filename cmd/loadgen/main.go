@@ -1,0 +1,255 @@
+// Command loadgen drives a closed-loop synthetic workload against one
+// in-process grid site and reports throughput and latency per client count,
+// as JSON. It is the benchmark harness behind the read/write-path split:
+//
+//	loadgen -mode probe               # lock-free read path under fan-out
+//	loadgen -mode mixed -wal /tmp/j   # probes racing fsync-backed writers
+//	loadgen -mode write -wal /tmp/j   # group-commit write throughput
+//
+// Each mode runs the client counts given by -clients back to back against a
+// fresh seeded site, so the numbers across counts are comparable. The
+// workload is closed-loop: every client issues its next operation as soon
+// as the previous one returns, so throughput reflects service time, not an
+// offered-load schedule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coalloc/internal/core"
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+	"coalloc/internal/wal"
+)
+
+// point is the measurement for one client count.
+type point struct {
+	Clients   int     `json:"clients"`
+	Readers   int     `json:"readers"`
+	Writers   int     `json:"writers"`
+	Seconds   float64 `json:"seconds"`
+	ProbeOps  int64   `json:"probeOps"`
+	WriteOps  int64   `json:"writeOps"`
+	ProbeRate float64 `json:"probeOpsPerSec"`
+	WriteRate float64 `json:"writeOpsPerSec"`
+	ProbeP50  float64 `json:"probeP50Micros"`
+	ProbeP99  float64 `json:"probeP99Micros"`
+	WriteP50  float64 `json:"writeP50Micros"`
+	WriteP99  float64 `json:"writeP99Micros"`
+}
+
+// result is the whole run.
+type result struct {
+	Mode    string  `json:"mode"`
+	Servers int     `json:"servers"`
+	WAL     bool    `json:"wal"`
+	Points  []point `json:"points"`
+}
+
+// sampler keeps a bounded latency sample per class; closed-loop clients can
+// push hundreds of thousands of ops per point, so it records every 8th.
+type sampler struct {
+	mu    sync.Mutex
+	n     int64
+	taken []time.Duration
+}
+
+func (s *sampler) observe(d time.Duration) {
+	if atomic.AddInt64(&s.n, 1)%8 != 0 {
+		return
+	}
+	s.mu.Lock()
+	s.taken = append(s.taken, d)
+	s.mu.Unlock()
+}
+
+func (s *sampler) percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.taken) == 0 {
+		return 0
+	}
+	sort.Slice(s.taken, func(i, j int) bool { return s.taken[i] < s.taken[j] })
+	i := int(p * float64(len(s.taken)-1))
+	return float64(s.taken[i]) / float64(time.Microsecond)
+}
+
+// seedSite builds a site with a spread of committed reservations so probe
+// searches traverse non-trivial slot trees, mirroring internal/grid's
+// benchmark fixture.
+func seedSite(servers int, slotSize int64, slots int) (*grid.Site, error) {
+	s, err := grid.NewSite("loadgen", core.Config{
+		Servers:  servers,
+		SlotSize: period.Duration(slotSize),
+		Slots:    slots,
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2*servers; i++ {
+		id := fmt.Sprintf("seed-%d", i)
+		start := period.Time(int64(i%24)*int64(period.Hour) + int64(15*period.Minute))
+		end := start.Add(2 * period.Hour)
+		if _, err := s.Prepare(0, id, start, end, 1+i%3, 24*period.Hour); err != nil {
+			continue
+		}
+		if err := s.Commit(0, id); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func runPoint(mode string, servers int, slotSize int64, slots int, walDir string, clients int, dur time.Duration) (point, error) {
+	site, err := seedSite(servers, slotSize, slots)
+	if err != nil {
+		return point{}, err
+	}
+	if walDir != "" {
+		dir := filepath.Join(walDir, fmt.Sprintf("%s-c%d", mode, clients))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return point{}, err
+		}
+		wlog, _, err := wal.Open(dir, wal.Options{SegmentSize: 4 << 20, Sync: wal.SyncAlways})
+		if err != nil {
+			return point{}, err
+		}
+		defer wlog.Close()
+		site.AttachWAL(wlog)
+	}
+
+	readers, writers := clients, 0
+	switch mode {
+	case "write":
+		readers, writers = 0, clients
+	case "mixed":
+		writers = (clients + 1) / 2
+		readers = clients - writers
+		if clients > 1 && readers == 0 {
+			readers = 1
+			writers = clients - 1
+		}
+	}
+
+	window := period.Time(int64(period.Hour))
+	windowEnd := window.Add(period.Hour)
+	var probeOps, writeOps int64
+	probeLat, writeLat := &sampler{}, &sampler{}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ops int64
+			for !stop.Load() {
+				t0 := time.Now()
+				site.Probe(0, window, windowEnd)
+				probeLat.observe(time.Since(t0))
+				ops++
+			}
+			atomic.AddInt64(&probeOps, ops)
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var ops int64
+			for i := 0; !stop.Load(); i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				t0 := time.Now()
+				if _, err := site.Prepare(0, id, window, windowEnd, 1, period.Hour); err != nil {
+					continue
+				}
+				if err := site.Abort(0, id); err != nil {
+					return
+				}
+				writeLat.observe(time.Since(t0))
+				ops++
+			}
+			atomic.AddInt64(&writeOps, ops)
+		}(w)
+	}
+
+	t0 := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+
+	return point{
+		Clients:   clients,
+		Readers:   readers,
+		Writers:   writers,
+		Seconds:   elapsed,
+		ProbeOps:  probeOps,
+		WriteOps:  writeOps,
+		ProbeRate: float64(probeOps) / elapsed,
+		WriteRate: float64(writeOps) / elapsed,
+		ProbeP50:  probeLat.percentile(0.50),
+		ProbeP99:  probeLat.percentile(0.99),
+		WriteP50:  writeLat.percentile(0.50),
+		WriteP99:  writeLat.percentile(0.99),
+	}, nil
+}
+
+func main() {
+	servers := flag.Int("servers", 64, "servers per site")
+	slotSize := flag.Int64("tau", 900, "slot size in seconds (the paper's tau)")
+	slots := flag.Int("slots", 96, "calendar slots")
+	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
+	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, or write")
+	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	switch *mode {
+	case "probe", "mixed", "write":
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	res := result{Mode: *mode, Servers: *servers, WAL: *walDir != ""}
+	for _, f := range strings.Split(*clientsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad client count %q\n", f)
+			os.Exit(2)
+		}
+		p, err := runPoint(*mode, *servers, *slotSize, *slots, *walDir, n, *dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		res.Points = append(res.Points, p)
+		fmt.Fprintf(os.Stderr, "%s clients=%d probe=%.0f/s (p99 %.0fus) write=%.0f/s (p99 %.0fus)\n",
+			*mode, n, p.ProbeRate, p.ProbeP99, p.WriteRate, p.WriteP99)
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -63,6 +63,7 @@ type Calendar struct {
 	genesis   period.Time // creation time: left boundary of the very first idle period
 	base      int64       // absolute index of the earliest active slot
 	slots     []*dtree.Tree
+	shared    []bool // per ring position: tree is referenced by a published View (see view.go)
 	busy      []busyList
 	tails     *tailIndex
 }
@@ -78,6 +79,7 @@ func New(cfg Config, now period.Time) (*Calendar, error) {
 		genesis: now,
 		base:    int64(now) / int64(cfg.SlotSize),
 		slots:   make([]*dtree.Tree, cfg.Slots),
+		shared:  make([]bool, cfg.Slots),
 		busy:    make([]busyList, cfg.Servers),
 	}
 	for i := range c.slots {
@@ -157,6 +159,27 @@ func (c *Calendar) slotAt(abs int64) *dtree.Tree {
 	return c.slots[abs%int64(c.cfg.Slots)]
 }
 
+// ownedSlot returns the slot tree at abs, cloning it first if a published
+// View still references it — the write half of the copy-on-write contract
+// (see view.go). Mutate slot trees only through this accessor.
+func (c *Calendar) ownedSlot(abs int64) *dtree.Tree {
+	i := abs % int64(c.cfg.Slots)
+	if c.shared[i] {
+		t := c.slots[i].Clone(&c.ops)
+		c.slots[i] = t
+		c.shared[i] = false
+	}
+	return c.slots[i]
+}
+
+// replaceSlot installs a fresh tree at the ring position of abs (slot
+// rotation); the previous tree may live on inside a published View.
+func (c *Calendar) replaceSlot(abs int64) {
+	i := abs % int64(c.cfg.Slots)
+	c.slots[i] = c.newTree()
+	c.shared[i] = false
+}
+
 // Advance moves the calendar's clock to now, discarding expired slot trees
 // and initializing trees for the slots that enter the horizon, exactly as
 // §4.1 prescribes. Moving the clock backwards is a programming error.
@@ -178,13 +201,13 @@ func (c *Calendar) Advance(now period.Time) {
 		// The entire window expired (a long idle jump): rebuild wholesale.
 		c.base = newBase
 		for abs := newBase; abs < newBase+q; abs++ {
-			c.slots[abs%q] = c.newTree()
+			c.replaceSlot(abs)
 			c.fillSlot(abs)
 		}
 		return
 	}
 	for abs := c.base + q; abs < newBase+q; abs++ {
-		c.slots[abs%q] = c.newTree() // drop the expired tree occupying this ring position
+		c.replaceSlot(abs) // drop the expired tree occupying this ring position
 		c.fillSlot(abs)
 	}
 	c.base = newBase
@@ -195,7 +218,7 @@ func (c *Calendar) Advance(now period.Time) {
 func (c *Calendar) fillSlot(abs int64) {
 	w0 := period.Time(abs * int64(c.cfg.SlotSize))
 	w1 := period.Time((abs + 1) * int64(c.cfg.SlotSize))
-	tree := c.slotAt(abs)
+	tree := c.ownedSlot(abs)
 	var buf []period.Period
 	for srv := range c.busy {
 		c.ops++ // one reservation-list probe per server per new slot
@@ -221,7 +244,7 @@ func (c *Calendar) insertFinite(p period.Period) {
 		hi = last
 	}
 	for abs := lo; abs <= hi; abs++ {
-		c.slotAt(abs).Insert(p)
+		c.ownedSlot(abs).Insert(p)
 	}
 }
 
@@ -236,7 +259,7 @@ func (c *Calendar) removeFinite(p period.Period) error {
 		hi = last
 	}
 	for abs := lo; abs <= hi; abs++ {
-		if !c.slotAt(abs).Delete(p) {
+		if !c.ownedSlot(abs).Delete(p) {
 			return fmt.Errorf("calendar: period %+v missing from slot %d", p, abs)
 		}
 	}

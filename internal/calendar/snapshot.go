@@ -84,6 +84,7 @@ func FromSnapshotData(s SnapshotData) (*Calendar, error) {
 		genesis: s.Genesis,
 		base:    int64(s.Now) / int64(s.Config.SlotSize),
 		slots:   make([]*dtree.Tree, s.Config.Slots),
+		shared:  make([]bool, s.Config.Slots),
 		busy:    make([]busyList, s.Config.Servers),
 	}
 	for i, ivs := range s.Busy {

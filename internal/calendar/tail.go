@@ -106,6 +106,13 @@ func (t *tailIndex) collect(s period.Time, max int, out []period.Period) []perio
 	return out
 }
 
+// cloneRO returns an immutable copy for a published view: the entries are
+// copied and the operation counter is dropped, so concurrent readers calling
+// candidates/collect perform no writes at all (visit is nil-safe).
+func (t *tailIndex) cloneRO() *tailIndex {
+	return &tailIndex{entries: append([]tailEntry(nil), t.entries...)}
+}
+
 // start returns the trailing idle start of the given server.
 func (t *tailIndex) startOf(server int) (period.Time, bool) {
 	for _, e := range t.entries {

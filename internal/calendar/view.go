@@ -1,0 +1,76 @@
+package calendar
+
+import (
+	"coalloc/internal/dtree"
+	"coalloc/internal/period"
+)
+
+// View is an immutable snapshot of a calendar's searchable state: the slot
+// trees and the tail index as of one instant. Any number of goroutines may
+// search a View concurrently, with no locking, while the owning calendar
+// keeps mutating — the copy-on-write contract below guarantees the View
+// never observes those mutations.
+//
+// Copy-on-write contract. PublishView copies the slot-tree pointer ring and
+// marks every referenced tree as shared; the calendar clones a shared tree
+// (dtree.Clone) before its first post-publish mutation, so the tree a View
+// references is frozen the moment the View exists. The tail index is copied
+// outright (it is a flat slice, cheaper to copy than to track). View
+// searches use the side-effect-free dtree read path (SearchRO), which
+// touches no operation counter, timing histogram, or node pool — a View
+// therefore contributes nothing to the Fig. 7(b) operation metric, exactly
+// like any other read replica.
+type View struct {
+	cfg        Config
+	now        period.Time
+	base       int64
+	horizonEnd period.Time
+	slots      []*dtree.Tree // same ring layout as Calendar.slots (index = abs % Slots)
+	tails      *tailIndex    // cloned, with no operation counter
+}
+
+// PublishView captures the calendar's current searchable state as an
+// immutable View and marks every live slot tree shared, so later mutations
+// clone before writing. Cost: O(Slots) pointer copies plus O(Servers) tail
+// entries; no tree is cloned until one is actually mutated.
+func (c *Calendar) PublishView() *View {
+	v := &View{
+		cfg:        c.cfg,
+		now:        c.now,
+		base:       c.base,
+		horizonEnd: c.HorizonEnd(),
+		slots:      append([]*dtree.Tree(nil), c.slots...),
+		tails:      c.tails.cloneRO(),
+	}
+	for i := range c.shared {
+		c.shared[i] = true
+	}
+	return v
+}
+
+// Now returns the instant the view was published at.
+func (v *View) Now() period.Time { return v.now }
+
+// HorizonEnd returns the right edge of the view's active window.
+func (v *View) HorizonEnd() period.Time { return v.horizonEnd }
+
+// RangeSearch returns every idle period feasible for [start, end) as of the
+// view's publication instant — the concurrent read-path twin of
+// Calendar.RangeSearch, byte-for-byte the same result set.
+func (v *View) RangeSearch(start, end period.Time) []period.Period {
+	if end <= start {
+		return nil
+	}
+	q := int64(start) / int64(v.cfg.SlotSize)
+	if q < v.base || q >= v.base+int64(v.cfg.Slots) || end > v.horizonEnd {
+		return nil
+	}
+	feasible, _ := v.slots[q%int64(v.cfg.Slots)].SearchRO(start, end, 0)
+	return v.tails.collect(start, 0, feasible)
+}
+
+// Available reports how many servers could be co-allocated over [start, end)
+// as of the view's publication instant.
+func (v *View) Available(start, end period.Time) int {
+	return len(v.RangeSearch(start, end))
+}

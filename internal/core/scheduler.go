@@ -291,6 +291,13 @@ func (s *Scheduler) Available(start, end period.Time) int {
 	return len(s.cal.RangeSearch(start, end))
 }
 
+// PublishView captures an immutable snapshot of the calendar's searchable
+// state for lock-free concurrent reads; see calendar.View for the
+// copy-on-write contract. The scheduler itself stays single-threaded — the
+// caller (a grid site) publishes a view after each serialized mutation batch
+// and serves probes and range searches from it.
+func (s *Scheduler) PublishView() *calendar.View { return s.cal.PublishView() }
+
 // SuggestAlternatives probes up to MaxAttempts candidate start times spaced
 // Δt apart, beginning at the request's start, and returns up to k start
 // times at which the request would currently succeed — without reserving

@@ -398,6 +398,87 @@ func (t *Tree) Search(start, end period.Time, max int) (feasible []period.Period
 	return feasible, candidates
 }
 
+// Clone returns a structurally independent copy of the tree wired to the
+// given operation counter (nil for none). No node is shared with the
+// receiver — each tree recycles nodes through its own pool, so sharing
+// subtrees across trees would let one tree's delete corrupt the other — and
+// the copy is built perfectly balanced in O(n log n).
+//
+// Clone is the write-side half of the calendar's copy-on-write views: a slot
+// tree referenced by a published read-only view is cloned before its first
+// mutation, leaving the view's copy frozen.
+func (t *Tree) Clone(ops *uint64) *Tree {
+	out := &Tree{ops: ops, tm: t.tm}
+	if t.root == nil {
+		return out
+	}
+	leaves := make([]period.Period, 0, t.root.count())
+	collect(t.root, &leaves)
+	byEnd := make([]period.Period, len(leaves))
+	copy(byEnd, leaves)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].EndLess(byEnd[j]) })
+	out.root = out.buildBalanced(leaves, byEnd)
+	return out
+}
+
+// SearchRO is Search without side effects: it touches no operation counter,
+// no timing histogram, and no pool, so any number of goroutines may call it
+// concurrently on a frozen tree (one no writer mutates — see Clone). The
+// result is identical to Search's.
+func (t *Tree) SearchRO(start, end period.Time, max int) (feasible []period.Period, candidates int) {
+	marks := t.phase1RO(start)
+	for _, m := range marks {
+		candidates += m.count()
+	}
+	if max > 0 && candidates < max {
+		return nil, candidates
+	}
+	for i := len(marks) - 1; i >= 0; i-- {
+		m := marks[i]
+		if m.leaf() {
+			if m.p.End >= end {
+				feasible = append(feasible, m.p)
+			}
+		} else {
+			feasible = collectFeasibleRO(m.sec.root, end, max, feasible)
+		}
+		if max > 0 && len(feasible) >= max {
+			return feasible, candidates
+		}
+	}
+	return feasible, candidates
+}
+
+// CandidatesRO is Candidates without side effects (see SearchRO).
+func (t *Tree) CandidatesRO(s period.Time) int {
+	total := 0
+	for _, m := range t.phase1RO(s) {
+		total += m.count()
+	}
+	return total
+}
+
+// phase1RO mirrors phase1 without visiting the operation counter.
+func (t *Tree) phase1RO(s period.Time) []*node {
+	var marks []*node
+	n := t.root
+	for n != nil {
+		if n.leaf() {
+			if n.p.CandidateFor(s) {
+				marks = append(marks, n)
+			}
+			break
+		}
+		if n.key.Start > s {
+			n = n.right
+		} else {
+			marks = append(marks, n.right)
+			n = n.left
+		}
+	}
+	return marks
+}
+
 // All returns every stored period in primary order (descending start). It is
 // intended for tests and diagnostics.
 func (t *Tree) All() []period.Period {

@@ -260,6 +260,41 @@ func (t *etree) appendAll(n *enode, max int, acc []period.Period) []period.Perio
 	return t.appendAll(n.right, max, acc)
 }
 
+// collectFeasibleRO mirrors collectFeasible on bare enodes, with no counter
+// or pool access, for concurrent readers of frozen trees (see Tree.SearchRO).
+func collectFeasibleRO(n *enode, end period.Time, max int, acc []period.Period) []period.Period {
+	for n != nil {
+		if n.leaf() {
+			if n.p.End >= end {
+				acc = append(acc, n.p)
+			}
+			return acc
+		}
+		if n.key.End >= end {
+			acc = appendAllRO(n.right, max, acc)
+			if max > 0 && len(acc) >= max {
+				return acc
+			}
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return acc
+}
+
+// appendAllRO mirrors appendAll without visiting the operation counter.
+func appendAllRO(n *enode, max int, acc []period.Period) []period.Period {
+	if n.leaf() {
+		return append(acc, n.p)
+	}
+	acc = appendAllRO(n.left, max, acc)
+	if max > 0 && len(acc) >= max {
+		return acc
+	}
+	return appendAllRO(n.right, max, acc)
+}
+
 func (t *etree) checkInvariants() error {
 	if t.root == nil {
 		return nil

@@ -1,0 +1,75 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+// benchSite builds a 64-server site with a realistic spread of committed
+// reservations so probe searches traverse non-trivial slot trees.
+func benchSite(b *testing.B) *Site {
+	b.Helper()
+	s, err := NewSite("bench", siteConfig(64), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		id := fmt.Sprintf("seed-%d", i)
+		start := period.Time(int64(i%24)*int64(period.Hour) + int64(15*period.Minute))
+		end := start.Add(2 * period.Hour)
+		if _, err := s.Prepare(0, id, start, end, 1+i%3, 24*period.Hour); err != nil {
+			continue
+		}
+		if err := s.Commit(0, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSiteProbeParallel measures the read path under broker-style
+// fan-out: many goroutines probing the same site at the published epoch.
+// Run with -cpu=1,2,4,8 to observe scaling; before the epoch-snapshot read
+// path every probe serialized on the site mutex.
+func BenchmarkSiteProbeParallel(b *testing.B) {
+	s := benchSite(b)
+	window := period.Time(int64(period.Hour))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Probe(0, window, window.Add(period.Hour))
+		}
+	})
+}
+
+// BenchmarkSiteRangeSearchParallel measures the feasible-period enumeration
+// (§4.2's range search) on the lock-free read path.
+func BenchmarkSiteRangeSearchParallel(b *testing.B) {
+	s := benchSite(b)
+	window := period.Time(int64(period.Hour))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.RangeSearch(0, window, window.Add(period.Hour))
+		}
+	})
+}
+
+// BenchmarkSitePrepareAbort measures the write path: prepare immediately
+// followed by abort, leaving the calendar unchanged between iterations.
+func BenchmarkSitePrepareAbort(b *testing.B) {
+	s := benchSite(b)
+	window := period.Time(int64(period.Hour))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("h-%d", i)
+		if _, err := s.Prepare(0, id, window, window.Add(period.Hour), 1, period.Hour); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Abort(0, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

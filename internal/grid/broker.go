@@ -50,21 +50,24 @@ func (m MultiAllocation) TotalServers() int {
 var ErrNoCapacity = errors.New("grid: no window with sufficient cross-site capacity")
 
 // CommitError reports a partial phase-2 failure: the broker decided commit
-// but could not reach every prepared site before giving up. Sites that
-// missed the decision release their holds at lease expiry (presumed abort),
-// so the grid converges to a consistent state; the job, however, must be
-// re-submitted.
+// but could not reach every prepared site before giving up. The broker
+// compensates by aborting the sites that did commit (Aborted lists the ones
+// it reached), releasing their shares immediately; sites that missed both
+// the decision and the compensation release their holds at lease expiry
+// (presumed abort). The grid converges to a consistent state either way;
+// the job, however, must be re-submitted.
 type CommitError struct {
 	HoldID    string
 	Committed []string
+	Aborted   []string // committed sites whose shares the broker released again
 	Failed    []string
 	Err       error
 }
 
 // Error implements the error interface.
 func (e *CommitError) Error() string {
-	return fmt.Sprintf("grid: partial commit of %s (committed %v, failed %v): %v",
-		e.HoldID, e.Committed, e.Failed, e.Err)
+	return fmt.Sprintf("grid: partial commit of %s (committed %v, aborted %v, failed %v): %v",
+		e.HoldID, e.Committed, e.Aborted, e.Failed, e.Err)
 }
 
 // BrokerConfig parameterizes a Broker. Zero fields take documented
@@ -81,8 +84,13 @@ type BrokerConfig struct {
 	DeltaT period.Duration
 	// MaxAttempts bounds window retries (the paper's R_max); default 16.
 	MaxAttempts int
-	// CommitRetries bounds phase-2 re-delivery attempts per site; default 3.
+	// CommitRetries bounds phase-2 re-delivery attempts per site; default 3,
+	// clamped to at least 1 so the decision is always delivered once.
 	CommitRetries int
+	// ProbeWorkers bounds the concurrency of one probe fan-out; default 8.
+	// With hundreds of sites an unbounded fan-out spawns one goroutine per
+	// site per window; a bounded pool keeps the round's footprint fixed.
+	ProbeWorkers int
 	// Registry, if non-nil, receives 2PC outcome counters and window
 	// latencies under the "broker." prefix.
 	Registry *obs.Registry
@@ -109,6 +117,9 @@ func (c *BrokerConfig) applyDefaults() {
 	if c.CommitRetries <= 0 {
 		c.CommitRetries = 3
 	}
+	if c.ProbeWorkers <= 0 {
+		c.ProbeWorkers = 8
+	}
 }
 
 // BrokerStats counts protocol outcomes.
@@ -125,6 +136,7 @@ type BrokerStats struct {
 type brokerMetrics struct {
 	requests, granted, rejected *obs.Counter
 	partials, aborts            *obs.Counter
+	unreachable                 *obs.Counter   // probes that failed to reach a site
 	windowLatency               *obs.Histogram // one probe/prepare/commit round
 	requestLatency              *obs.Histogram // whole CoAllocate including retries
 }
@@ -139,6 +151,7 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		rejected:       reg.Counter("broker.rejected"),
 		partials:       reg.Counter("broker.partial_commits"),
 		aborts:         reg.Counter("broker.aborts"),
+		unreachable:    reg.Counter("broker.probe.unreachable"),
 		windowLatency:  reg.Histogram("broker.window.latency"),
 		requestLatency: reg.Histogram("broker.request.latency"),
 	}
@@ -147,6 +160,7 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.rejected", "requests that exhausted every window")
 	reg.Help("broker.partial_commits", "phase-2 rounds that missed a site")
 	reg.Help("broker.aborts", "holds aborted during failed windows")
+	reg.Help("broker.probe.unreachable", "probe rounds that failed to reach a site")
 	reg.Help("broker.window.latency", "one probe/prepare/commit round")
 	reg.Help("broker.request.latency", "whole CoAllocate including retries")
 	return m
@@ -286,30 +300,53 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	return MultiAllocation{}, fmt.Errorf("%w (last: %v)", ErrNoCapacity, lastErr)
 }
 
+// probeSites fans one probe round out over the sites through a bounded
+// worker pool: one round trip per site carrying both availability and
+// capacity. An unreachable site contributes Avail{Err: err} with both
+// numbers zero.
+func (b *Broker) probeSites(now, start, end period.Time) []Avail {
+	avail := make([]Avail, len(b.sites))
+	workers := b.cfg.ProbeWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(b.sites) {
+		workers = len(b.sites)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := b.sites[i]
+				r, err := c.Probe(now, start, end)
+				if err != nil {
+					avail[i] = Avail{Conn: c, Err: err}
+					if b.m != nil {
+						b.m.unreachable.Inc()
+					}
+					continue
+				}
+				avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity}
+			}
+		}()
+	}
+	for i := range b.sites {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return avail
+}
+
 // tryWindow runs one probe/prepare/commit round for a fixed window.
 func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (MultiAllocation, error) {
 	if b.m != nil {
 		defer b.m.windowLatency.Since(time.Now())
 	}
-	// Probe every site concurrently; unreachable sites count as empty.
-	avail := make([]Avail, len(b.sites))
-	var wg sync.WaitGroup
-	for i, c := range b.sites {
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			n, err := c.Probe(now, start, end)
-			if err != nil {
-				n = 0
-			}
-			cap, err := c.Servers()
-			if err != nil {
-				cap = 0
-			}
-			avail[i] = Avail{Conn: c, Available: n, Capacity: cap}
-		}(i, c)
-	}
-	wg.Wait()
+	avail := b.probeSites(now, start, end)
 
 	shares, err := b.cfg.Strategy.Split(total, avail)
 	if err != nil {
@@ -347,12 +384,20 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			slog.Int("servers", len(servers)))
 	}
 
-	// Phase 2: commit everywhere, retrying transient failures.
+	// Phase 2: commit everywhere, retrying transient failures. Clamp the
+	// retry budget at the use site too: a zero-value config reaching this
+	// loop directly would otherwise skip commit entirely, stranding every
+	// prepared hold until its lease expires.
+	retries := b.cfg.CommitRetries
+	if retries < 1 {
+		retries = 1
+	}
 	var committed, failed []string
+	var committedConns []Conn
 	var commitErr error
 	for _, c := range prepared {
 		var err error
-		for r := 0; r < b.cfg.CommitRetries; r++ {
+		for r := 0; r < retries; r++ {
 			if err = c.Commit(now, holdID); err == nil {
 				break
 			}
@@ -363,10 +408,29 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			continue
 		}
 		committed = append(committed, c.Name())
+		committedConns = append(committedConns, c)
 		b.event(obs.EventCommit, slog.String("hold", holdID), slog.String("site", c.Name()))
 	}
 	if len(failed) > 0 {
-		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Failed: failed, Err: commitErr}
+		// Compensate the sites that did commit: without these aborts their
+		// shares would stay allocated for the whole job duration even though
+		// the co-allocation failed. Best effort — a site we cannot reach now
+		// keeps the hold remembered until its window ends, so a later abort
+		// (or the window closing) still reclaims it.
+		var aborted []string
+		for _, c := range committedConns {
+			if err := c.Abort(now, holdID); err == nil {
+				aborted = append(aborted, c.Name())
+				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", c.Name()))
+			}
+		}
+		b.mu.Lock()
+		b.stats.Aborts += uint64(len(aborted))
+		b.mu.Unlock()
+		if b.m != nil {
+			b.m.aborts.Add(uint64(len(aborted)))
+		}
+		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Aborted: aborted, Failed: failed, Err: commitErr}
 	}
 	return MultiAllocation{
 		HoldID:   holdID,
@@ -380,20 +444,5 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 // ProbeAll returns each site's availability for a window — the cross-site
 // range search (§4.2) exposed to users for their own post-processing.
 func (b *Broker) ProbeAll(now, start, end period.Time) []Avail {
-	avail := make([]Avail, len(b.sites))
-	var wg sync.WaitGroup
-	for i, c := range b.sites {
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			n, err := c.Probe(now, start, end)
-			if err != nil {
-				n = 0
-			}
-			cap, _ := c.Servers()
-			avail[i] = Avail{Conn: c, Available: n, Capacity: cap}
-		}(i, c)
-	}
-	wg.Wait()
-	return avail
+	return b.probeSites(now, start, end)
 }

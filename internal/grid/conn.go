@@ -2,6 +2,15 @@ package grid
 
 import "coalloc/internal/period"
 
+// ProbeResult couples a site's availability for a window with its total
+// capacity, so one probe round-trip gives a strategy both numbers — the
+// split decision never mixes a fresh availability with a stale or failed
+// capacity fetch.
+type ProbeResult struct {
+	Available int
+	Capacity  int
+}
+
 // Conn is the broker's view of one site. Implementations include the
 // in-process LocalConn below and the net/rpc client in internal/wire; tests
 // also wrap it for failure injection.
@@ -11,8 +20,9 @@ type Conn interface {
 	Name() string
 	// Servers returns the site's capacity.
 	Servers() (int, error)
-	// Probe reports how many servers could be co-allocated over [start, end).
-	Probe(now, start, end period.Time) (int, error)
+	// Probe reports how many servers could be co-allocated over [start, end)
+	// together with the site's capacity, in one round trip.
+	Probe(now, start, end period.Time) (ProbeResult, error)
 	// Prepare leases servers for the window under holdID (2PC phase 1).
 	Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error)
 	// Commit finalizes a hold (2PC phase 2).
@@ -33,8 +43,17 @@ func (l LocalConn) Name() string { return l.Site.Name() }
 func (l LocalConn) Servers() (int, error) { return l.Site.Servers(), nil }
 
 // Probe implements Conn.
-func (l LocalConn) Probe(now, start, end period.Time) (int, error) {
-	return l.Site.Probe(now, start, end), nil
+func (l LocalConn) Probe(now, start, end period.Time) (ProbeResult, error) {
+	return ProbeResult{
+		Available: l.Site.Probe(now, start, end),
+		Capacity:  l.Site.Servers(),
+	}, nil
+}
+
+// RangeSearch lists the feasible start periods for the window on the local
+// site — the per-site leg of the user-facing range search.
+func (l LocalConn) RangeSearch(now, start, end period.Time) ([]period.Period, error) {
+	return l.Site.RangeSearch(now, start, end), nil
 }
 
 // Prepare implements Conn.

@@ -29,6 +29,13 @@ import (
 // can reconcile them. For 2PC this is exactly presumed abort: the broker
 // never saw the prepare succeed, times out, and aborts; the recovered site
 // has no trace of the hold.
+//
+// Journaling is staged: each mutation encodes its records into s.staged as
+// it applies (stageOpLocked), and the batch leader flushes the whole batch
+// with one group commit (flushStagedLocked) before any writer in the batch
+// is acknowledged — the same contract, amortized. When the attached log
+// supports it (BatchWAL), the flush is a single AppendBatch with one fsync;
+// otherwise records are appended one by one, preserving order.
 
 // OpKind enumerates the journaled site mutations.
 type OpKind uint8
@@ -107,6 +114,15 @@ type WAL interface {
 	Checkpoint(snapshot []byte) error
 }
 
+// BatchWAL is the optional group-commit upgrade: AppendBatch persists the
+// records in order with a single durability round (one fsync under
+// SyncAlways). internal/wal's Log implements it; a WAL that does not is
+// driven record by record.
+type BatchWAL interface {
+	WAL
+	AppendBatch(records [][]byte) (lsn uint64, err error)
+}
+
 // ErrNoWAL is returned by Checkpoint when the site has no log attached.
 var ErrNoWAL = errors.New("grid: no write-ahead log attached")
 
@@ -126,21 +142,49 @@ func (s *Site) walOKLocked() error {
 	return nil
 }
 
-// appendOpLocked journals one applied mutation, stamping the post-operation
-// scheduler counters. On failure the site is poisoned (see package comment).
-func (s *Site) appendOpLocked(op Op) error {
+// stageOpLocked encodes one applied mutation — stamping the post-operation
+// scheduler counters — and queues it for the batch's group commit. Only an
+// encoding failure poisons here; append failures surface in
+// flushStagedLocked.
+func (s *Site) stageOpLocked(op Op) error {
 	if s.wal == nil {
 		return nil
 	}
 	op.SchedStats = s.sched.Stats()
 	op.SchedOps = s.sched.Ops()
 	rec, err := EncodeOp(op)
-	if err == nil {
-		_, err = s.wal.Append(rec)
-	}
 	if err != nil {
 		s.walErr = err
 		return fmt.Errorf("grid %s: journal %s %q: %w", s.name, op.Kind, op.HoldID, err)
+	}
+	s.staged = append(s.staged, rec)
+	return nil
+}
+
+// flushStagedLocked appends the batch's staged records to the journal as
+// one group commit. On failure the site is poisoned: the staged mutations
+// are already applied in memory but will never be acknowledged, and only a
+// restart (recovering the durable prefix) reconciles the two.
+func (s *Site) flushStagedLocked() error {
+	if len(s.staged) == 0 || s.wal == nil {
+		s.staged = nil
+		return nil
+	}
+	recs := s.staged
+	s.staged = nil
+	var err error
+	if bw, ok := s.wal.(BatchWAL); ok && len(recs) > 1 {
+		_, err = bw.AppendBatch(recs)
+	} else {
+		for _, rec := range recs {
+			if _, err = s.wal.Append(rec); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		s.walErr = err
+		return fmt.Errorf("grid %s: journal append: %w", s.name, err)
 	}
 	return nil
 }
@@ -188,6 +232,7 @@ func (s *Site) ReplayOp(op Op) error {
 			return fmt.Errorf("grid %s: replay prepare of duplicate hold %q", s.name, op.HoldID)
 		}
 		s.sched.Advance(op.Now)
+		s.pruneCommittedLocked(op.Now)
 		for _, srv := range op.Alloc.Servers {
 			if _, err := s.sched.Claim(srv, op.Alloc.Start, op.Alloc.End); err != nil {
 				return fmt.Errorf("grid %s: replay prepare %q: %w", s.name, op.HoldID, err)
@@ -197,30 +242,51 @@ func (s *Site) ReplayOp(op Op) error {
 		s.prepared++
 	case OpCommit:
 		s.sched.Advance(op.Now)
-		if _, ok := s.holds[op.HoldID]; !ok {
+		s.pruneCommittedLocked(op.Now)
+		h, ok := s.holds[op.HoldID]
+		if !ok {
 			return fmt.Errorf("grid %s: replay commit of unknown hold %q", s.name, op.HoldID)
 		}
 		delete(s.holds, op.HoldID)
+		if h.Alloc.End > op.Now {
+			s.committedHolds[op.HoldID] = h
+		}
 		s.committed++
-	case OpAbort, OpExpire:
+	case OpAbort:
 		s.sched.Advance(op.Now)
+		s.pruneCommittedLocked(op.Now)
+		if h, ok := s.holds[op.HoldID]; ok {
+			delete(s.holds, op.HoldID)
+			if err := s.sched.Release(h.Alloc, h.Alloc.Start); err == nil {
+				s.aborted++
+			}
+			break
+		}
+		h, ok := s.committedHolds[op.HoldID]
+		if !ok {
+			return fmt.Errorf("grid %s: replay abort of unknown hold %q", s.name, op.HoldID)
+		}
+		delete(s.committedHolds, op.HoldID)
+		if err := s.sched.Release(h.Alloc, op.Now); err == nil {
+			s.aborted++
+		}
+	case OpExpire:
+		s.sched.Advance(op.Now)
+		s.pruneCommittedLocked(op.Now)
 		h, ok := s.holds[op.HoldID]
 		if !ok {
-			return fmt.Errorf("grid %s: replay %s of unknown hold %q", s.name, op.Kind, op.HoldID)
+			return fmt.Errorf("grid %s: replay expire of unknown hold %q", s.name, op.HoldID)
 		}
 		delete(s.holds, op.HoldID)
 		if err := s.sched.Release(h.Alloc, h.Alloc.Start); err == nil {
-			if op.Kind == OpAbort {
-				s.aborted++
-			} else {
-				s.expired++
-			}
+			s.expired++
 		}
 	default:
 		return fmt.Errorf("grid %s: replay of unknown op kind %d", s.name, op.Kind)
 	}
 	s.sched.RestoreStats(op.SchedStats)
 	s.sched.SetOps(op.SchedOps)
+	s.publishLocked()
 	return nil
 }
 

@@ -203,9 +203,9 @@ type failingConn struct {
 	failProbe   bool
 }
 
-func (f *failingConn) Probe(now, start, end period.Time) (int, error) {
+func (f *failingConn) Probe(now, start, end period.Time) (ProbeResult, error) {
 	if f.failProbe {
-		return 0, errors.New("injected probe failure")
+		return ProbeResult{}, errors.New("injected probe failure")
 	}
 	return f.Conn.Probe(now, start, end)
 }

@@ -19,6 +19,18 @@
 // a canonical order, so two brokers competing for overlapping site sets
 // cannot deadlock either: the protocol's only failure mode is an abort.
 //
+// Read path / write path. A site splits its operations in two. Reads —
+// Probe, RangeSearch, Stats — are served from an immutable epoch snapshot
+// (siteView) published through an atomic pointer after each mutation batch,
+// so any number of broker probes proceed concurrently without touching the
+// site mutex (RCU-style: readers load the pointer, writers publish a fresh
+// view). Writes — Prepare, Commit, Abort, and any read that must advance
+// the clock past the published epoch — go through a bounded admission queue
+// (submitWrite) that coalesces concurrently arriving mutations into one
+// lock acquisition and one write-ahead-log group commit per batch. A view
+// is published only after the batch's journal records are durable, so a
+// reader can never observe state the log does not yet describe.
+//
 // All timestamps are simulation time supplied by the caller, which keeps
 // the protocol deterministic and testable; a deployment would pass wall
 // clock seconds.
@@ -28,7 +40,9 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 
+	"coalloc/internal/calendar"
 	"coalloc/internal/core"
 	"coalloc/internal/job"
 	"coalloc/internal/obs"
@@ -42,32 +56,77 @@ type Hold struct {
 	Expires period.Time
 }
 
+// maxWriteBatch bounds how many queued mutations one batch leader applies
+// under a single lock acquisition (and single journal group commit). Small
+// enough to bound any one caller's latency, large enough to amortize the
+// fsync under load.
+const maxWriteBatch = 64
+
+// pendingWrite is one queued mutation: exec runs under the site lock and may
+// stage journal records; err carries exec's result (or the batch's journal
+// failure) back to the submitter once done is closed.
+type pendingWrite struct {
+	exec func() error
+	err  error
+	done chan struct{}
+}
+
+// siteView is one published epoch: the calendar's searchable state plus the
+// protocol counters as of the end of a mutation batch. Immutable once
+// published.
+type siteView struct {
+	cal                                   *calendar.View
+	prepared, committed, aborted, expired uint64
+}
+
 // Site is one administrative domain: a named pool of servers managed by the
 // paper's online scheduler, extended with prepare/commit/abort holds. It is
-// safe for concurrent use.
+// safe for concurrent use; see the package comment for the read/write split.
 type Site struct {
-	mu     sync.Mutex
-	name   string
-	sched  *core.Scheduler
-	holds  map[string]Hold
-	tracer obs.Tracer // optional; see Instrument
+	mu    sync.Mutex
+	name  string
+	sched *core.Scheduler
+	holds map[string]Hold
+	// committedHolds remembers decided holds until their window ends, so a
+	// broker can compensate a partial phase-2 failure by aborting the sites
+	// that did commit (releasing their shares) — without it, Abort of a
+	// committed hold would be an unknown-hold no-op and the capacity would
+	// stay allocated for the full job duration.
+	committedHolds map[string]Hold
+	tracer         obs.Tracer // optional; see Instrument
 
 	// durability; see durability.go
-	wal    WAL   // optional journal; see AttachWAL
-	walErr error // sticky journal failure: the site refuses mutations
+	wal    WAL      // optional journal; see AttachWAL
+	walErr error    // sticky journal failure: the site refuses mutations
+	staged [][]byte // encoded ops applied in memory this batch, not yet appended
 
 	// stats
 	prepared, committed, aborted, expired uint64
+
+	// read path: the last published epoch. Never nil after NewSite/RestoreSite.
+	view atomic.Pointer[siteView]
+
+	// write path: admission queue state (guarded by qmu, not mu).
+	qmu   sync.Mutex
+	queue []*pendingWrite
+	qbusy bool // a batch leader is draining the queue
 }
 
 // NewSite creates a site with the given scheduler configuration, starting
 // at time now.
 func NewSite(name string, cfg core.Config, now period.Time) (*Site, error) {
-	s, err := core.New(cfg, now)
+	sched, err := core.New(cfg, now)
 	if err != nil {
 		return nil, err
 	}
-	return &Site{name: name, sched: s, holds: make(map[string]Hold)}, nil
+	s := &Site{
+		name:           name,
+		sched:          sched,
+		holds:          make(map[string]Hold),
+		committedHolds: make(map[string]Hold),
+	}
+	s.publishLocked()
+	return s, nil
 }
 
 // Name returns the site's identifier.
@@ -76,9 +135,95 @@ func (s *Site) Name() string { return s.name }
 // Servers returns the site's capacity.
 func (s *Site) Servers() int { return s.sched.Config().Servers }
 
+// publishLocked installs a fresh epoch view. Called at construction,
+// restore, replay, and at the end of every successful mutation batch; the
+// caller holds s.mu (or has exclusive access). A poisoned site never
+// publishes: its memory is ahead of the durable state, and the read path
+// must keep serving the last state the journal describes.
+func (s *Site) publishLocked() {
+	if s.wal != nil && s.walErr != nil {
+		return
+	}
+	s.view.Store(&siteView{
+		cal:       s.sched.PublishView(),
+		prepared:  s.prepared,
+		committed: s.committed,
+		aborted:   s.aborted,
+		expired:   s.expired,
+	})
+}
+
+// submitWrite runs exec through the admission queue. The first submitter to
+// find the queue idle becomes the batch leader: it drains the queue in
+// bounded batches, running each batch's execs under one lock acquisition,
+// flushing their journal records as one group commit, and publishing one
+// fresh view. Followers enqueue and block until their write's batch
+// completes. exec runs with s.mu held and must not block.
+func (s *Site) submitWrite(exec func() error) error {
+	w := &pendingWrite{exec: exec, done: make(chan struct{})}
+	s.qmu.Lock()
+	s.queue = append(s.queue, w)
+	if s.qbusy {
+		s.qmu.Unlock()
+		<-w.done
+		return w.err
+	}
+	s.qbusy = true
+	s.qmu.Unlock()
+	for {
+		s.qmu.Lock()
+		if len(s.queue) == 0 {
+			s.qbusy = false
+			s.qmu.Unlock()
+			break
+		}
+		batch := s.queue
+		if len(batch) > maxWriteBatch {
+			batch = batch[:maxWriteBatch]
+			s.queue = append([]*pendingWrite(nil), s.queue[maxWriteBatch:]...)
+		} else {
+			s.queue = nil
+		}
+		s.qmu.Unlock()
+		s.runBatch(batch)
+	}
+	<-w.done
+	return w.err
+}
+
+// runBatch applies one batch of queued mutations under a single lock
+// acquisition: every exec runs back to back, their staged journal records
+// are flushed as one group commit, and — if the journal accepted them — one
+// fresh epoch view is published. A journal failure poisons the site and is
+// reported to every writer in the batch whose exec had succeeded, honoring
+// append-before-acknowledge: no mutation is acknowledged unless its record
+// is durable.
+func (s *Site) runBatch(batch []*pendingWrite) {
+	s.mu.Lock()
+	for _, w := range batch {
+		w.err = w.exec()
+	}
+	if err := s.flushStagedLocked(); err != nil {
+		for _, w := range batch {
+			if w.err == nil {
+				w.err = err
+			}
+		}
+	} else {
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+	for _, w := range batch {
+		close(w.done)
+	}
+}
+
 // advanceLocked moves the site clock and lazily expires stale holds. Each
 // expiry is a state mutation and is journaled; once the journal has failed
 // the site freezes instead, so memory drifts no further from durable state.
+// Committed holds whose windows have closed are pruned — a pure, memoryless
+// function of now, so replay converges to the same map without journaling
+// the prunes (ReplayOp applies the identical rule at each record's Now).
 func (s *Site) advanceLocked(now period.Time) {
 	if s.wal != nil && s.walErr != nil {
 		return
@@ -92,20 +237,57 @@ func (s *Site) advanceLocked(now period.Time) {
 				s.event(obs.EventExpire, slog.String("hold", id), slog.Int64("expired", int64(h.Expires)))
 			}
 			delete(s.holds, id)
-			if err := s.appendOpLocked(Op{Kind: OpExpire, Now: now, HoldID: id}); err != nil {
+			if err := s.stageOpLocked(Op{Kind: OpExpire, Now: now, HoldID: id}); err != nil {
 				return
 			}
+		}
+	}
+	s.pruneCommittedLocked(now)
+}
+
+// pruneCommittedLocked drops committed holds whose windows have closed:
+// there is nothing left to compensate once the job's time has passed.
+func (s *Site) pruneCommittedLocked(now period.Time) {
+	for id, h := range s.committedHolds {
+		if h.Alloc.End <= now {
+			delete(s.committedHolds, id)
 		}
 	}
 }
 
 // Probe reports how many servers the site could co-allocate over
-// [start, end) as of now, without committing anything.
+// [start, end) as of now, without committing anything. When now is at or
+// before the published epoch it is answered lock-free from the epoch view;
+// a probe that moves the clock forward must expire leases, which is a
+// mutation, so it rides the write queue instead.
 func (s *Site) Probe(now, start, end period.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.advanceLocked(now)
-	return s.sched.Available(start, end)
+	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		return v.cal.Available(start, end)
+	}
+	n := 0
+	_ = s.submitWrite(func() error {
+		s.advanceLocked(now)
+		n = s.sched.Available(start, end)
+		return nil
+	})
+	return n
+}
+
+// RangeSearch returns every idle period feasible for [start, end) as of now
+// without committing anything — the user-facing range search of §4.2,
+// served lock-free from the epoch view whenever now does not move the
+// clock.
+func (s *Site) RangeSearch(now, start, end period.Time) []period.Period {
+	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		return v.cal.RangeSearch(start, end)
+	}
+	var out []period.Period
+	_ = s.submitWrite(func() error {
+		s.advanceLocked(now)
+		out = s.sched.RangeSearch(start, end)
+		return nil
+	})
+	return out
 }
 
 // Prepare attempts to reserve `servers` servers over [start, end) under the
@@ -117,43 +299,52 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 		return nil, fmt.Errorf("grid %s: invalid prepare (hold %q, %d servers, [%d,%d), lease %d)",
 			s.name, holdID, servers, start, end, lease)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.advanceLocked(now)
-	if err := s.walOKLocked(); err != nil {
-		return nil, err
-	}
-	if _, dup := s.holds[holdID]; dup {
-		return nil, fmt.Errorf("grid %s: hold %q already exists", s.name, holdID)
-	}
-	if start < now {
-		return nil, fmt.Errorf("grid %s: window start %d in the past (now %d)", s.name, start, now)
-	}
-	// One shot at the exact window — cross-site atomicity requires every
-	// site to grant the same window, so the retry loop lives in the broker.
-	alloc, err := s.sched.Submit(job.Request{
-		ID:       holdLocalID(holdID),
-		Submit:   now,
-		Start:    start,
-		Duration: period.Duration(end - start),
-		Servers:  servers,
-		Deadline: end, // forbid the scheduler from sliding the start
+	var granted []int
+	err := s.submitWrite(func() error {
+		s.advanceLocked(now)
+		if err := s.walOKLocked(); err != nil {
+			return err
+		}
+		if _, dup := s.holds[holdID]; dup {
+			return fmt.Errorf("grid %s: hold %q already exists", s.name, holdID)
+		}
+		if _, dup := s.committedHolds[holdID]; dup {
+			return fmt.Errorf("grid %s: hold %q already exists", s.name, holdID)
+		}
+		if start < now {
+			return fmt.Errorf("grid %s: window start %d in the past (now %d)", s.name, start, now)
+		}
+		// One shot at the exact window — cross-site atomicity requires every
+		// site to grant the same window, so the retry loop lives in the broker.
+		alloc, err := s.sched.Submit(job.Request{
+			ID:       holdLocalID(holdID),
+			Submit:   now,
+			Start:    start,
+			Duration: period.Duration(end - start),
+			Servers:  servers,
+			Deadline: end, // forbid the scheduler from sliding the start
+		})
+		if err != nil {
+			return fmt.Errorf("grid %s: cannot prepare %d servers at [%d,%d): %w", s.name, servers, start, end, err)
+		}
+		hold := Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
+		s.holds[holdID] = hold
+		s.prepared++
+		if err := s.stageOpLocked(Op{Kind: OpPrepare, Now: now, HoldID: holdID, Alloc: alloc, Expires: hold.Expires}); err != nil {
+			return err
+		}
+		s.event(obs.EventPrepare,
+			slog.String("hold", holdID),
+			slog.Int("servers", servers),
+			slog.Int64("start", int64(start)),
+			slog.Int64("expires", int64(now.Add(lease))))
+		granted = alloc.Servers
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("grid %s: cannot prepare %d servers at [%d,%d): %w", s.name, servers, start, end, err)
-	}
-	hold := Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}
-	s.holds[holdID] = hold
-	s.prepared++
-	if err := s.appendOpLocked(Op{Kind: OpPrepare, Now: now, HoldID: holdID, Alloc: alloc, Expires: hold.Expires}); err != nil {
 		return nil, err
 	}
-	s.event(obs.EventPrepare,
-		slog.String("hold", holdID),
-		slog.Int("servers", servers),
-		slog.Int64("start", int64(start)),
-		slog.Int64("expires", int64(now.Add(lease))))
-	return alloc.Servers, nil
+	return granted, nil
 }
 
 // holdLocalID derives a stable numeric job id from a hold id for the local
@@ -169,63 +360,97 @@ func holdLocalID(holdID string) int64 {
 
 // Commit makes a prepared hold durable. Committing an unknown or expired
 // hold returns an error — the broker treats that as a protocol violation.
+// The hold is remembered until its window ends so a partial cross-site
+// commit can still be compensated by Abort.
 func (s *Site) Commit(now period.Time, holdID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.advanceLocked(now)
-	if err := s.walOKLocked(); err != nil {
-		return err
-	}
-	if _, ok := s.holds[holdID]; !ok {
-		return fmt.Errorf("grid %s: commit of unknown or expired hold %q", s.name, holdID)
-	}
-	delete(s.holds, holdID)
-	s.committed++
-	if err := s.appendOpLocked(Op{Kind: OpCommit, Now: now, HoldID: holdID}); err != nil {
-		return err
-	}
-	s.event(obs.EventCommit, slog.String("hold", holdID))
-	return nil
+	return s.submitWrite(func() error {
+		s.advanceLocked(now)
+		if err := s.walOKLocked(); err != nil {
+			return err
+		}
+		h, ok := s.holds[holdID]
+		if !ok {
+			return fmt.Errorf("grid %s: commit of unknown or expired hold %q", s.name, holdID)
+		}
+		delete(s.holds, holdID)
+		if h.Alloc.End > now {
+			s.committedHolds[holdID] = h
+		}
+		s.committed++
+		if err := s.stageOpLocked(Op{Kind: OpCommit, Now: now, HoldID: holdID}); err != nil {
+			return err
+		}
+		s.event(obs.EventCommit, slog.String("hold", holdID))
+		return nil
+	})
 }
 
-// Abort releases a prepared hold. Aborting an unknown hold is a no-op
+// Abort releases a hold. A prepared hold is cancelled outright; a hold that
+// was already committed (a broker compensating a partial cross-site commit)
+// is released from now on — capacity the job consumed before the abort is
+// gone, the rest returns to the pool. Aborting an unknown hold is a no-op
 // (the lease may already have expired), matching presumed-abort 2PC.
 func (s *Site) Abort(now period.Time, holdID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.advanceLocked(now)
-	if err := s.walOKLocked(); err != nil {
-		return err
-	}
-	h, ok := s.holds[holdID]
-	if !ok {
+	return s.submitWrite(func() error {
+		s.advanceLocked(now)
+		if err := s.walOKLocked(); err != nil {
+			return err
+		}
+		h, held := s.holds[holdID]
+		if !held {
+			ch, committed := s.committedHolds[holdID]
+			if !committed {
+				return nil
+			}
+			// Compensating abort: pruneCommittedLocked guarantees End > now
+			// here, so the release below is always legal.
+			delete(s.committedHolds, holdID)
+			releaseErr := s.sched.Release(ch.Alloc, now)
+			if releaseErr == nil {
+				s.aborted++
+			}
+			if err := s.stageOpLocked(Op{Kind: OpAbort, Now: now, HoldID: holdID}); err != nil {
+				return err
+			}
+			if releaseErr != nil {
+				return fmt.Errorf("grid %s: abort release: %v", s.name, releaseErr)
+			}
+			s.event(obs.EventAbort, slog.String("hold", holdID), slog.Bool("compensating", true))
+			return nil
+		}
+		delete(s.holds, holdID)
+		releaseErr := s.sched.Release(h.Alloc, h.Alloc.Start)
+		if releaseErr == nil {
+			s.aborted++
+		}
+		// The hold is gone either way, so the mutation is journaled either way;
+		// replay mirrors the same delete-then-try-release sequence.
+		if err := s.stageOpLocked(Op{Kind: OpAbort, Now: now, HoldID: holdID}); err != nil {
+			return err
+		}
+		if releaseErr != nil {
+			return fmt.Errorf("grid %s: abort release: %v", s.name, releaseErr)
+		}
+		s.event(obs.EventAbort, slog.String("hold", holdID))
 		return nil
-	}
-	delete(s.holds, holdID)
-	releaseErr := s.sched.Release(h.Alloc, h.Alloc.Start)
-	if releaseErr == nil {
-		s.aborted++
-	}
-	// The hold is gone either way, so the mutation is journaled either way;
-	// replay mirrors the same delete-then-try-release sequence.
-	if err := s.appendOpLocked(Op{Kind: OpAbort, Now: now, HoldID: holdID}); err != nil {
-		return err
-	}
-	if releaseErr != nil {
-		return fmt.Errorf("grid %s: abort release: %v", s.name, releaseErr)
-	}
-	s.event(obs.EventAbort, slog.String("hold", holdID))
-	return nil
+	})
 }
 
-// Stats reports the site's protocol counters.
+// Stats reports the site's protocol counters as of the last published
+// epoch, lock-free.
 func (s *Site) Stats() (prepared, committed, aborted, expired uint64) {
+	if v := s.view.Load(); v != nil {
+		return v.prepared, v.committed, v.aborted, v.expired
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.prepared, s.committed, s.aborted, s.expired
 }
 
-// PendingHolds returns the number of undecided holds.
+// PendingHolds returns the number of undecided holds. It reads the live
+// state under the lock, not the epoch view: on a poisoned site memory runs
+// ahead of the durable epoch, and operators debugging that state need to
+// see the unacknowledged holds.
 func (s *Site) PendingHolds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

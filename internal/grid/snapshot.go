@@ -16,6 +16,7 @@ import (
 type siteSnapshot struct {
 	Name      string
 	Holds     []Hold
+	Decided   []Hold // committed holds still inside their windows (abortable)
 	Prepared  uint64
 	Committed uint64
 	Aborted   uint64
@@ -44,6 +45,7 @@ func (s *Site) snapshotLocked(w io.Writer) error {
 	snap := siteSnapshot{
 		Name:      s.name,
 		Holds:     make([]Hold, 0, len(s.holds)),
+		Decided:   make([]Hold, 0, len(s.committedHolds)),
 		Prepared:  s.prepared,
 		Committed: s.committed,
 		Aborted:   s.aborted,
@@ -54,6 +56,10 @@ func (s *Site) snapshotLocked(w io.Writer) error {
 		snap.Holds = append(snap.Holds, h)
 	}
 	sort.Slice(snap.Holds, func(i, j int) bool { return snap.Holds[i].ID < snap.Holds[j].ID })
+	for _, h := range s.committedHolds {
+		snap.Decided = append(snap.Decided, h)
+	}
+	sort.Slice(snap.Decided, func(i, j int) bool { return snap.Decided[i].ID < snap.Decided[j].ID })
 	return gob.NewEncoder(w).Encode(snap)
 }
 
@@ -68,13 +74,14 @@ func RestoreSite(r io.Reader) (*Site, error) {
 		return nil, fmt.Errorf("grid: restore site %q: %w", snap.Name, err)
 	}
 	s := &Site{
-		name:      snap.Name,
-		sched:     sched,
-		holds:     make(map[string]Hold, len(snap.Holds)),
-		prepared:  snap.Prepared,
-		committed: snap.Committed,
-		aborted:   snap.Aborted,
-		expired:   snap.Expired,
+		name:           snap.Name,
+		sched:          sched,
+		holds:          make(map[string]Hold, len(snap.Holds)),
+		committedHolds: make(map[string]Hold, len(snap.Decided)),
+		prepared:       snap.Prepared,
+		committed:      snap.Committed,
+		aborted:        snap.Aborted,
+		expired:        snap.Expired,
 	}
 	for _, h := range snap.Holds {
 		if h.ID == "" {
@@ -82,5 +89,12 @@ func RestoreSite(r io.Reader) (*Site, error) {
 		}
 		s.holds[h.ID] = h
 	}
+	for _, h := range snap.Decided {
+		if h.ID == "" {
+			return nil, fmt.Errorf("grid: restore site %q: committed hold without id", snap.Name)
+		}
+		s.committedHolds[h.ID] = h
+	}
+	s.publishLocked()
 	return s, nil
 }

@@ -5,11 +5,14 @@ import (
 	"sort"
 )
 
-// Avail is one site's probed availability for a candidate window.
+// Avail is one site's probed availability for a candidate window. A site
+// that could not be probed carries its error in Err with both numbers zero,
+// so no strategy can mistake a stale capacity for real headroom.
 type Avail struct {
 	Conn      Conn
 	Available int
 	Capacity  int
+	Err       error
 }
 
 // Share is a strategy's assignment of part of a job to a site.

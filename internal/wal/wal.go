@@ -403,6 +403,63 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// AppendBatch writes several records as one group commit: every record is
+// framed and buffered, then the active segment is fsynced at most once (per
+// the sync policy), amortizing the SyncAlways penalty across the batch. It
+// returns the LSN of the last record. On failure the log is poisoned exactly
+// as Append would be — none of the batch is acknowledged, and recovery
+// surfaces whatever durable prefix the crash left.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return 0, fmt.Errorf("wal: %w", l.err)
+	}
+	if len(payloads) == 0 {
+		return l.nextLSN - 1, nil
+	}
+	var last uint64
+	for _, payload := range payloads {
+		if len(payload) > MaxRecord {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+		}
+		active := &l.segs[len(l.segs)-1]
+		if active.size+frameSize(len(payload)) > l.opt.SegmentSize && active.size > segHeaderSize {
+			if err := l.rotateLocked(); err != nil {
+				return 0, err
+			}
+			active = &l.segs[len(l.segs)-1]
+		}
+		t0 := time.Now()
+		l.scratch = appendFrame(l.scratch[:0], payload)
+		n, err := l.opt.Injector.write(l.f, l.scratch)
+		active.size += int64(n)
+		if err != nil {
+			return 0, l.fail(err)
+		}
+		l.opt.Metrics.observeAppend(t0, frameSize(len(payload)))
+		last = l.nextLSN
+		l.nextLSN++
+		l.dirty = true
+	}
+	switch l.opt.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opt.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return last, nil
+}
+
 // rotateLocked seals the active segment and starts a new one.
 func (l *Log) rotateLocked() error {
 	if err := l.syncLocked(); err != nil {

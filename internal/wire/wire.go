@@ -26,9 +26,23 @@ type ProbeArgs struct {
 	Now, Start, End period.Time
 }
 
-// ProbeReply carries the probed availability.
+// ProbeReply carries the probed availability together with the site's
+// capacity, so a broker's split decision needs one round trip per site, not
+// two.
 type ProbeReply struct {
 	Available int
+	Capacity  int
+}
+
+// RangeArgs asks for every feasible start period for a window — the
+// per-site leg of the user-facing range search (§4.2).
+type RangeArgs struct {
+	Now, Start, End period.Time
+}
+
+// RangeReply lists the feasible periods.
+type RangeReply struct {
+	Feasible []period.Period
 }
 
 // PrepareArgs leases servers for a window (2PC phase 1).
@@ -90,7 +104,7 @@ type svcMetrics struct {
 }
 
 // serviceMethods names every RPC method, for metric registration.
-var serviceMethods = []string{"Probe", "Prepare", "Commit", "Abort", "Info", "Stats", "Checkpoint"}
+var serviceMethods = []string{"Probe", "Range", "Prepare", "Commit", "Abort", "Info", "Stats", "Checkpoint"}
 
 func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	m := &svcMetrics{
@@ -132,6 +146,15 @@ type Service struct {
 func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
 	return s.m.observe("Probe", func() error {
 		reply.Available = s.site.Probe(args.Now, args.Start, args.End)
+		reply.Capacity = s.site.Servers()
+		return nil
+	})
+}
+
+// Range implements the RPC method.
+func (s *Service) Range(args RangeArgs, reply *RangeReply) error {
+	return s.m.observe("Range", func() error {
+		reply.Feasible = s.site.RangeSearch(args.Now, args.Start, args.End)
 		return nil
 	})
 }
@@ -367,12 +390,27 @@ func (c *Client) Name() string { return c.name }
 func (c *Client) Servers() (int, error) { return c.servers, nil }
 
 // Probe implements grid.Conn.
-func (c *Client) Probe(now, start, end period.Time) (int, error) {
+func (c *Client) Probe(now, start, end period.Time) (grid.ProbeResult, error) {
 	var reply ProbeReply
 	if err := c.call("Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
-		return 0, err
+		return grid.ProbeResult{}, err
 	}
-	return reply.Available, nil
+	r := grid.ProbeResult{Available: reply.Available, Capacity: reply.Capacity}
+	if r.Capacity == 0 {
+		// A pre-Capacity server left the field unset; fall back to the
+		// capacity cached from the Info handshake.
+		r.Capacity = c.servers
+	}
+	return r, nil
+}
+
+// Range fetches every feasible start period for the window from the site.
+func (c *Client) Range(now, start, end period.Time) ([]period.Period, error) {
+	var reply RangeReply
+	if err := c.call("Range", RangeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Feasible, nil
 }
 
 // Prepare implements grid.Conn.

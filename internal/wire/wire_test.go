@@ -58,8 +58,8 @@ func TestInfoOverRPC(t *testing.T) {
 
 func TestProtocolOverRPC(t *testing.T) {
 	c := startSite(t, "remote-a", 4)
-	if n, err := c.Probe(0, 0, period.Time(period.Hour)); err != nil || n != 4 {
-		t.Fatalf("probe = %d, %v", n, err)
+	if r, err := c.Probe(0, 0, period.Time(period.Hour)); err != nil || r.Available != 4 || r.Capacity != 4 {
+		t.Fatalf("probe = %+v, %v", r, err)
 	}
 	servers, err := c.Prepare(0, "h1", 0, period.Time(period.Hour), 3, period.Hour)
 	if err != nil {
@@ -68,8 +68,8 @@ func TestProtocolOverRPC(t *testing.T) {
 	if len(servers) != 3 {
 		t.Fatalf("granted %v", servers)
 	}
-	if n, _ := c.Probe(0, 0, period.Time(period.Hour)); n != 1 {
-		t.Fatalf("probe during hold = %d", n)
+	if r, _ := c.Probe(0, 0, period.Time(period.Hour)); r.Available != 1 {
+		t.Fatalf("probe during hold = %+v", r)
 	}
 	if err := c.Commit(0, "h1"); err != nil {
 		t.Fatal(err)
@@ -102,10 +102,10 @@ func TestBrokerOverRPC(t *testing.T) {
 		t.Fatalf("alloc = %+v", alloc)
 	}
 	// The committed reservations are visible through fresh probes.
-	na, _ := a.Probe(0, alloc.Start, alloc.End)
-	nb, _ := b.Probe(0, alloc.Start, alloc.End)
-	if na+nb != 2 {
-		t.Fatalf("remaining capacity = %d + %d, want 2 total", na, nb)
+	ra, _ := a.Probe(0, alloc.Start, alloc.End)
+	rb, _ := b.Probe(0, alloc.Start, alloc.End)
+	if ra.Available+rb.Available != 2 {
+		t.Fatalf("remaining capacity = %d + %d, want 2 total", ra.Available, rb.Available)
 	}
 }
 
