@@ -15,6 +15,7 @@ import (
 func checkpointMain(args []string) {
 	fs := flag.NewFlagSet("gridctl checkpoint", flag.ExitOnError)
 	sites := fs.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+	cfg := timeoutFlags(fs)
 	fs.Parse(args)
 
 	failed := false
@@ -23,7 +24,7 @@ func checkpointMain(args []string) {
 		if addr == "" {
 			continue
 		}
-		c, err := wire.Dial("tcp", addr)
+		c, err := wire.DialConfig("tcp", addr, *cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridctl:", err)
 			failed = true

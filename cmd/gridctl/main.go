@@ -13,11 +13,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"coalloc/internal/grid"
 	"coalloc/internal/period"
 	"coalloc/internal/wire"
 )
+
+// timeoutFlags registers the RPC deadline flags shared by every gridctl
+// subcommand and returns the resulting client config.
+func timeoutFlags(fs *flag.FlagSet) *wire.ClientConfig {
+	cfg := &wire.ClientConfig{}
+	fs.DurationVar(&cfg.DialTimeout, "dial-timeout", 5*time.Second, "bound on establishing a site connection (0 blocks forever)")
+	fs.DurationVar(&cfg.CallTimeout, "call-timeout", 10*time.Second, "bound on one site RPC (0 waits forever)")
+	return cfg
+}
 
 func main() {
 	if len(os.Args) > 1 {
@@ -31,13 +41,16 @@ func main() {
 		}
 	}
 	var (
-		sites    = flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
-		servers  = flag.Int("servers", 1, "total servers to co-allocate")
-		start    = flag.Int64("start", 0, "earliest start time (simulation seconds; advance reservation if > now)")
-		duration = flag.Int64("duration", 3600, "reservation length in seconds")
-		now      = flag.Int64("now", 0, "current simulation time in seconds")
-		strategy = flag.String("strategy", "greedy", "site-selection strategy: greedy, single, or balance")
-		probe    = flag.Bool("probe", false, "only probe availability; commit nothing")
+		sites     = flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+		servers   = flag.Int("servers", 1, "total servers to co-allocate")
+		start     = flag.Int64("start", 0, "earliest start time (simulation seconds; advance reservation if > now)")
+		duration  = flag.Int64("duration", 3600, "reservation length in seconds")
+		now       = flag.Int64("now", 0, "current simulation time in seconds")
+		strategy  = flag.String("strategy", "greedy", "site-selection strategy: greedy, single, or balance")
+		probe     = flag.Bool("probe", false, "only probe availability; commit nothing")
+		brkThresh = flag.Int("breaker-threshold", 5, "consecutive site failures before its circuit opens (negative disables)")
+		brkCool   = flag.Duration("breaker-cooldown", 2*time.Second, "initial open-circuit cooldown before a half-open trial")
+		cfg       = timeoutFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -47,7 +60,7 @@ func main() {
 		if addr == "" {
 			continue
 		}
-		c, err := wire.Dial("tcp", addr)
+		c, err := wire.DialConfig("tcp", addr, *cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridctl:", err)
 			os.Exit(1)
@@ -60,7 +73,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gridctl: unknown strategy %q\n", *strategy)
 		os.Exit(1)
 	}
-	broker, err := grid.NewBroker(grid.BrokerConfig{Name: "gridctl", Strategy: strat}, conns...)
+	broker, err := grid.NewBroker(grid.BrokerConfig{
+		Name:             "gridctl",
+		Strategy:         strat,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+	}, conns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridctl:", err)
 		os.Exit(1)

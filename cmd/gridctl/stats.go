@@ -15,6 +15,7 @@ import (
 func statsMain(args []string) {
 	fs := flag.NewFlagSet("gridctl stats", flag.ExitOnError)
 	sites := fs.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+	cfg := timeoutFlags(fs)
 	fs.Parse(args)
 
 	failed := false
@@ -28,7 +29,7 @@ func statsMain(args []string) {
 			fmt.Println()
 		}
 		first = false
-		c, err := wire.Dial("tcp", addr)
+		c, err := wire.DialConfig("tcp", addr, *cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridctl:", err)
 			failed = true

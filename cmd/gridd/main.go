@@ -65,6 +65,7 @@ func main() {
 		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
 		walSyncEvery = flag.Duration("wal-sync-every", 100*time.Millisecond, "fsync cadence for -wal-sync=interval")
 		ckptEvery    = flag.Duration("checkpoint-every", 5*time.Minute, "auto-checkpoint cadence with -wal (0 disables)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 disables; reclaims sockets from half-dead brokers)")
 		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (disabled when empty)")
 		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
 	)
@@ -102,6 +103,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
+	srv.IdleTimeout = *idleTimeout
 	if reg != nil {
 		site.Instrument(reg, tracer)
 		srv.Instrument(reg)

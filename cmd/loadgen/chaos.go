@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coalloc/internal/core"
+	"coalloc/internal/faultnet"
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+	"coalloc/internal/wire"
+)
+
+// chaosPhase is the measurement for one half of a chaos run: the healthy
+// baseline, then the same workload with one site hung mid-RPC.
+type chaosPhase struct {
+	Phase     string  `json:"phase"` // "healthy" or "degraded"
+	Seconds   float64 `json:"seconds"`
+	ProbeOps  int64   `json:"probeOps"`
+	ProbeRate float64 `json:"probeOpsPerSec"`
+	ProbeP50  float64 `json:"probeP50Micros"`
+	ProbeP99  float64 `json:"probeP99Micros"`
+	SiteErrs  int64   `json:"siteErrors"` // per-site probe failures observed
+}
+
+// chaosResult is a whole chaos run.
+type chaosResult struct {
+	Mode        string       `json:"mode"`
+	Sites       int          `json:"sites"`
+	Servers     int          `json:"serversPerSite"`
+	Clients     int          `json:"clients"`
+	CallTimeout string       `json:"callTimeout"`
+	Phases      []chaosPhase `json:"phases"`
+}
+
+// chaosMember is one federation member of the chaos harness.
+type chaosMember struct {
+	server *wire.Server
+	proxy  *faultnet.Proxy
+	client *wire.Client
+}
+
+func (m *chaosMember) close() {
+	if m.client != nil {
+		m.client.Close()
+	}
+	if m.proxy != nil {
+		m.proxy.Close()
+	}
+	if m.server != nil {
+		m.server.Close()
+	}
+}
+
+// startChaosMember boots one site over loopback TCP behind a fault proxy
+// and dials it with the given deadlines.
+func startChaosMember(name string, servers int, slotSize int64, slots int, seed int64, cfg wire.ClientConfig) (*chaosMember, error) {
+	site, err := grid.NewSite(name, core.Config{
+		Servers:  servers,
+		SlotSize: period.Duration(slotSize),
+		Slots:    slots,
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer(site)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	m := &chaosMember{server: srv}
+	m.proxy, err = faultnet.Listen(l.Addr().String(), seed)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	m.client, err = wire.DialConfig("tcp", m.proxy.Addr(), cfg)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// chaosLoad drives closed-loop ProbeAll clients against the broker for the
+// given duration and returns the phase measurement.
+func chaosLoad(phase string, br *grid.Broker, clients int, dur time.Duration) chaosPhase {
+	window := period.Time(int64(period.Hour))
+	windowEnd := window.Add(period.Hour)
+	var ops, siteErrs int64
+	lat := &sampler{}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n, errs int64
+			for !stop.Load() {
+				t0 := time.Now()
+				for _, a := range br.ProbeAll(0, window, windowEnd) {
+					if a.Err != nil {
+						errs++
+					}
+				}
+				lat.observe(time.Since(t0))
+				n++
+			}
+			atomic.AddInt64(&ops, n)
+			atomic.AddInt64(&siteErrs, errs)
+		}()
+	}
+	t0 := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	return chaosPhase{
+		Phase:     phase,
+		Seconds:   elapsed,
+		ProbeOps:  ops,
+		ProbeRate: float64(ops) / elapsed,
+		ProbeP50:  lat.percentile(0.50),
+		ProbeP99:  lat.percentile(0.99),
+		SiteErrs:  siteErrs,
+	}
+}
+
+// runChaos measures graceful degradation: a three-site federation serves a
+// closed-loop probe workload for half the duration healthy, then with one
+// site hung mid-RPC for the other half. A broker doing its job shows
+// bounded degraded-phase latency (call timeout, then breaker fail-fast)
+// instead of stalling; pre-patch this phase hangs forever.
+func runChaos(servers int, slotSize int64, slots, clients int, dur, callTimeout time.Duration, seed int64) (chaosResult, error) {
+	const sites = 3
+	cfg := wire.ClientConfig{DialTimeout: callTimeout, CallTimeout: callTimeout}
+	members := make([]*chaosMember, 0, sites)
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	conns := make([]grid.Conn, 0, sites)
+	for i := 0; i < sites; i++ {
+		m, err := startChaosMember(fmt.Sprintf("site-%d", i), servers, slotSize, slots, seed+int64(i), cfg)
+		if err != nil {
+			return chaosResult{}, err
+		}
+		members = append(members, m)
+		conns = append(conns, m.client)
+	}
+	br, err := grid.NewBroker(grid.BrokerConfig{
+		Name:            "loadgen",
+		Strategy:        grid.LoadBalance{},
+		BreakerCooldown: dur, // stays open for the degraded phase
+	}, conns...)
+	if err != nil {
+		return chaosResult{}, err
+	}
+
+	res := chaosResult{
+		Mode:        "chaos",
+		Sites:       sites,
+		Servers:     servers,
+		Clients:     clients,
+		CallTimeout: callTimeout.String(),
+	}
+	res.Phases = append(res.Phases, chaosLoad("healthy", br, clients, dur/2))
+	members[sites-1].proxy.SetMode(faultnet.Hang)
+	res.Phases = append(res.Phases, chaosLoad("degraded", br, clients, dur/2))
+	return res, nil
+}
+
+// chaosMain implements -mode chaos and prints the result as JSON.
+func chaosMain(servers int, slotSize int64, slots, clients int, dur, callTimeout time.Duration, seed int64, out string) {
+	res, err := runChaos(servers, slotSize, slots, clients, dur, callTimeout, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	for _, p := range res.Phases {
+		fmt.Fprintf(os.Stderr, "chaos %-8s clients=%d probe=%.0f/s (p50 %.0fus p99 %.0fus) site-errors=%d\n",
+			p.Phase, clients, p.ProbeRate, p.ProbeP50, p.ProbeP99, p.SiteErrs)
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

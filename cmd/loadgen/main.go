@@ -5,6 +5,13 @@
 //	loadgen -mode probe               # lock-free read path under fan-out
 //	loadgen -mode mixed -wal /tmp/j   # probes racing fsync-backed writers
 //	loadgen -mode write -wal /tmp/j   # group-commit write throughput
+//	loadgen -mode chaos               # broker over TCP with one site hung
+//
+// -mode chaos boots a three-site federation over loopback TCP behind
+// internal/faultnet proxies, runs closed-loop broker probes healthy for half
+// of -duration, hangs one site mid-RPC for the other half, and reports both
+// phases side by side: the degraded numbers show the cost of the per-call
+// timeout and the breaker's fail-fast, not an unbounded stall.
 //
 // Each mode runs the client counts given by -clients back to back against a
 // fresh seeded site, so the numbers across counts are comparable. The
@@ -211,13 +218,19 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, or write")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, or chaos")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos")
+	callTimeout := flag.Duration("call-timeout", 200*time.Millisecond, "per-RPC deadline for -mode chaos")
+	seed := flag.Int64("seed", 1, "fault-injection seed for -mode chaos")
 	flag.Parse()
 
 	switch *mode {
 	case "probe", "mixed", "write":
+	case "chaos":
+		chaosMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *seed, *out)
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)
 		os.Exit(2)

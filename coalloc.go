@@ -157,6 +157,17 @@ type (
 	BrokerConfig    = grid.BrokerConfig
 	GridRequest     = grid.Request
 	MultiAllocation = grid.MultiAllocation
+	// SiteHealth reports one site's circuit-breaker state (Broker.Health).
+	SiteHealth = grid.SiteHealth
+)
+
+// Broker failure signals (match via errors.Is).
+var (
+	// ErrCircuitOpen marks a probe skipped because the site's breaker is open.
+	ErrCircuitOpen = grid.ErrCircuitOpen
+	// ErrAllSitesUnreachable reports a probe round that reached no site;
+	// CoAllocate fails fast with it instead of retrying later windows.
+	ErrAllSitesUnreachable = grid.ErrAllSitesUnreachable
 )
 
 // NewSite creates a grid site running its own co-allocation scheduler.

@@ -1,0 +1,274 @@
+// Package faultnet is a deterministic network fault injector: a TCP proxy
+// that sits between a wire client and a site daemon and reproduces, on
+// demand or from a seeded schedule, the failure modes a federation sees in
+// production — added latency, refused connections, mid-call hangs, and hard
+// partitions that sever established connections.
+//
+// The proxy is intentionally dumb about the protocol: it forwards bytes.
+// That makes every injected fault indistinguishable, from the client's
+// point of view, from the real network event it models:
+//
+//	Pass       forward everything (optionally with latency per chunk)
+//	Deny       refuse new connections; established ones keep working
+//	Hang       accept bytes but forward nothing — calls stall silently,
+//	           exactly like a remote peer that stopped scheduling reads
+//	Partition  sever every established connection and refuse new ones
+//
+// Faults toggle atomically via SetMode/Heal, so a test can flip a healthy
+// link into a partition in the middle of an RPC and flip it back after
+// asserting the client's timeout fired. Randomized faults (per-connection
+// drop probability) draw from a rand.Rand seeded at construction: two
+// proxies built with the same seed refuse the same connection sequence,
+// which keeps chaos tests reproducible.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the proxy's failure behavior. See the package comment.
+type Mode int32
+
+// Proxy failure modes.
+const (
+	Pass Mode = iota
+	Deny
+	Hang
+	Partition
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Deny:
+		return "deny"
+	case Hang:
+		return "hang"
+	case Partition:
+		return "partition"
+	}
+	return fmt.Sprintf("mode(%d)", int32(m))
+}
+
+// gatePoll bounds how long a forwarding loop sleeps between checks of the
+// proxy mode while hung; it is the resolution at which Heal takes effect.
+const gatePoll = time.Millisecond
+
+// Proxy forwards TCP connections to a target address, injecting the
+// configured faults. Safe for concurrent use.
+type Proxy struct {
+	target  string
+	l       net.Listener
+	mode    atomic.Int32
+	latency atomic.Int64 // ns added before each forwarded chunk
+	// dropPermille is the seeded per-connection refusal probability, in
+	// thousandths; the rng below decides each accept deterministically.
+	dropPermille atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both legs of every live connection
+	closed bool
+
+	accepted atomic.Int64 // connections accepted (before fault decisions)
+	refused  atomic.Int64 // connections refused by Deny/Partition/drop
+}
+
+// Listen starts a proxy on a fresh loopback port forwarding to target. The
+// seed drives every randomized fault decision; a fixed seed yields a fixed
+// fault sequence.
+func Listen(target string, seed int64) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		l:      l,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; clients dial this instead of the
+// target.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Mode returns the current failure mode.
+func (p *Proxy) Mode() Mode { return Mode(p.mode.Load()) }
+
+// SetMode switches the failure mode. Switching to Partition severs every
+// established connection immediately.
+func (p *Proxy) SetMode(m Mode) {
+	p.mode.Store(int32(m))
+	if m == Partition {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// SetLatency adds d of one-way delay before each forwarded chunk.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetDropRate makes the proxy refuse each new connection with probability
+// rate (0..1), decided by the seeded rng so the refusal pattern is
+// reproducible.
+func (p *Proxy) SetDropRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	p.dropPermille.Store(int64(rate * 1000))
+}
+
+// Heal restores transparent forwarding: Pass mode, zero latency, zero drop
+// rate. Connections severed by a partition stay severed — clients must
+// reconnect, as after a real partition.
+func (p *Proxy) Heal() {
+	p.mode.Store(int32(Pass))
+	p.latency.Store(0)
+	p.dropPermille.Store(0)
+}
+
+// Stats reports how many connections the proxy accepted and refused.
+func (p *Proxy) Stats() (accepted, refused int64) {
+	return p.accepted.Load(), p.refused.Load()
+}
+
+// Close stops the proxy and severs every connection through it.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	return p.l.Close()
+}
+
+// dropConn decides, deterministically from the seed, whether this
+// connection is refused under the current drop rate.
+func (p *Proxy) dropConn() bool {
+	rate := p.dropPermille.Load()
+	if rate <= 0 {
+		return false
+	}
+	p.rngMu.Lock()
+	roll := p.rng.Int63n(1000)
+	p.rngMu.Unlock()
+	return roll < rate
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		switch Mode(p.mode.Load()) {
+		case Deny, Partition:
+			p.refused.Add(1)
+			conn.Close()
+			continue
+		}
+		if p.dropConn() {
+			p.refused.Add(1)
+			conn.Close()
+			continue
+		}
+		go p.serve(conn)
+	}
+}
+
+// serve dials the target and shuttles bytes in both directions until either
+// leg dies or a partition severs them.
+func (p *Proxy) serve(client net.Conn) {
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+
+	done := func() {
+		p.mu.Lock()
+		delete(p.conns, client)
+		delete(p.conns, upstream)
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+	}
+	var once sync.Once
+	go func() {
+		p.forward(upstream, client)
+		once.Do(done)
+	}()
+	p.forward(client, upstream)
+	once.Do(done)
+}
+
+// forward copies src to dst chunk by chunk, applying latency and honoring
+// Hang: while the proxy is hung, bytes already read are parked and nothing
+// reaches dst, exactly like a peer that stopped draining its socket. The
+// loop exits when either side closes (or a partition closes both).
+func (p *Proxy) forward(src, dst net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := p.latency.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			for Mode(p.mode.Load()) == Hang {
+				time.Sleep(gatePoll)
+			}
+			// A partition flipped while parked closed both conns; the write
+			// below then fails and ends the loop.
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF if the dst side supports it, then
+			// stop forwarding this direction.
+			if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package faultnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func mustProxy(t *testing.T, target string, seed int64) *Proxy {
+	t.Helper()
+	p, err := Listen(target, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// roundTrip sends one line through conn and reads the echo, bounded by the
+// deadline.
+func roundTrip(conn net.Conn, line string, timeout time.Duration) (string, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(conn)
+	s, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return s[:len(s)-1], nil
+}
+
+func TestPassForwardsTransparently(t *testing.T) {
+	p := mustProxy(t, echoServer(t), 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(conn, "hello", time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("roundtrip = %q, %v", got, err)
+	}
+}
+
+func TestHangStallsMidCallAndHeals(t *testing.T) {
+	p := mustProxy(t, echoServer(t), 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(Hang)
+	if got, err := roundTrip(conn, "stalled", 100*time.Millisecond); err == nil {
+		t.Fatalf("hung proxy answered %q", got)
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("hang surfaced as %v, want timeout", err)
+		}
+	}
+	p.Heal()
+	// The parked bytes flow once healed; drain the stalled echo, then prove
+	// the link is live again.
+	conn.SetDeadline(time.Now().Add(time.Second))
+	r := bufio.NewReader(conn)
+	if s, err := r.ReadString('\n'); err != nil || s != "stalled\n" {
+		t.Fatalf("after heal read %q, %v", s, err)
+	}
+	conn.SetDeadline(time.Time{})
+	if got, err := roundTrip(conn, "alive", time.Second); err != nil || got != "alive" {
+		t.Fatalf("post-heal roundtrip = %q, %v", got, err)
+	}
+}
+
+func TestDenyRefusesNewKeepsEstablished(t *testing.T) {
+	p := mustProxy(t, echoServer(t), 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(Deny)
+	// New connections die immediately (closed on accept).
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c2.SetDeadline(time.Now().Add(time.Second))
+		if _, err := roundTrip(c2, "x", 500*time.Millisecond); err == nil {
+			t.Fatal("denied connection carried traffic")
+		}
+		c2.Close()
+	}
+	// The established connection keeps working.
+	if got, err := roundTrip(conn, "still", time.Second); err != nil || got != "still" {
+		t.Fatalf("established conn under Deny = %q, %v", got, err)
+	}
+}
+
+func TestPartitionSeversEstablished(t *testing.T) {
+	p := mustProxy(t, echoServer(t), 1)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(Partition)
+	_, rtErr := roundTrip(conn, "dead", time.Second)
+	if rtErr == nil {
+		t.Fatal("partitioned connection carried traffic")
+	}
+	var ne net.Error
+	if errors.As(rtErr, &ne) && ne.Timeout() {
+		t.Fatalf("partition surfaced as timeout (%v), want hard error", rtErr)
+	}
+	// Heal does not resurrect severed connections, but new ones work.
+	p.Heal()
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, err := roundTrip(c2, "back", time.Second); err != nil || got != "back" {
+		t.Fatalf("post-heal fresh conn = %q, %v", got, err)
+	}
+}
+
+func TestLatencyDelaysRoundTrip(t *testing.T) {
+	p := mustProxy(t, echoServer(t), 1)
+	p.SetLatency(50 * time.Millisecond)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	t0 := time.Now()
+	if _, err := roundTrip(conn, "slow", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One-way latency applies to each leg: request and echo.
+	if d := time.Since(t0); d < 90*time.Millisecond {
+		t.Fatalf("roundtrip took %v, want >= ~100ms with 50ms per leg", d)
+	}
+}
+
+// TestDropRateDeterministicFromSeed pins the seed contract: two proxies with
+// the same seed and drop rate refuse the same connection pattern.
+func TestDropRateDeterministicFromSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		p := mustProxy(t, echoServer(t), seed)
+		p.SetDropRate(0.5)
+		var out []bool
+		for i := 0; i < 24; i++ {
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				out = append(out, false)
+				continue
+			}
+			_, err = roundTrip(conn, "ping", time.Second)
+			conn.Close()
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at conn %d: %v vs %v", i, a, b)
+		}
+	}
+	okA := 0
+	for _, ok := range a {
+		if ok {
+			okA++
+		}
+	}
+	if okA == 0 || okA == len(a) {
+		t.Fatalf("drop rate 0.5 passed %d/%d connections; faults not exercised", okA, len(a))
+	}
+}

@@ -1,9 +1,12 @@
 package grid
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
+	mrand "math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -91,6 +94,22 @@ type BrokerConfig struct {
 	// With hundreds of sites an unbounded fan-out spawns one goroutine per
 	// site per window; a bounded pool keeps the round's footprint fixed.
 	ProbeWorkers int
+	// BreakerThreshold is the number of consecutive failures that opens a
+	// site's circuit breaker; default 5. While open the broker skips the
+	// site entirely (probes fail fast with ErrCircuitOpen) until the
+	// cooldown elapses and a half-open trial succeeds. Negative disables
+	// the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an opened circuit stays open before the
+	// broker admits one half-open trial; default 2s. Each failed trial
+	// doubles the cooldown (with jitter) up to BreakerCooldownMax.
+	BreakerCooldown time.Duration
+	// BreakerCooldownMax caps the exponential cooldown growth; default 30s.
+	BreakerCooldownMax time.Duration
+	// RetryBackoff is the base delay between phase-2 commit re-delivery
+	// attempts to the same site; default 10ms, doubling per attempt with
+	// jitter. Negative restores the historical immediate-retry behavior.
+	RetryBackoff time.Duration
 	// Registry, if non-nil, receives 2PC outcome counters and window
 	// latencies under the "broker." prefix.
 	Registry *obs.Registry
@@ -120,6 +139,18 @@ func (c *BrokerConfig) applyDefaults() {
 	if c.ProbeWorkers <= 0 {
 		c.ProbeWorkers = 8
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerCooldownMax <= 0 {
+		c.BreakerCooldownMax = 30 * time.Second
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
 }
 
 // BrokerStats counts protocol outcomes.
@@ -127,6 +158,7 @@ type BrokerStats struct {
 	Requests       int
 	Granted        int
 	Rejected       int
+	Unreachable    int // requests that failed because no site answered
 	PartialCommits int
 	Aborts         uint64 // total holds aborted during failed attempts
 }
@@ -137,6 +169,10 @@ type brokerMetrics struct {
 	requests, granted, rejected *obs.Counter
 	partials, aborts            *obs.Counter
 	unreachable                 *obs.Counter   // probes that failed to reach a site
+	allUnreachable              *obs.Counter   // requests rejected with ErrAllSitesUnreachable
+	breakerOpen                 *obs.Counter   // circuit-breaker open transitions
+	breakerSkips                *obs.Counter   // calls skipped because a circuit was open
+	rpcTimeouts                 *obs.Counter   // site RPCs that expired their deadline
 	windowLatency               *obs.Histogram // one probe/prepare/commit round
 	requestLatency              *obs.Histogram // whole CoAllocate including retries
 }
@@ -152,6 +188,10 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		partials:       reg.Counter("broker.partial_commits"),
 		aborts:         reg.Counter("broker.aborts"),
 		unreachable:    reg.Counter("broker.probe.unreachable"),
+		allUnreachable: reg.Counter("broker.all_unreachable"),
+		breakerOpen:    reg.Counter("broker.site.breaker_open"),
+		breakerSkips:   reg.Counter("broker.site.breaker_skips"),
+		rpcTimeouts:    reg.Counter("broker.rpc.timeout"),
 		windowLatency:  reg.Histogram("broker.window.latency"),
 		requestLatency: reg.Histogram("broker.request.latency"),
 	}
@@ -161,6 +201,10 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.partial_commits", "phase-2 rounds that missed a site")
 	reg.Help("broker.aborts", "holds aborted during failed windows")
 	reg.Help("broker.probe.unreachable", "probe rounds that failed to reach a site")
+	reg.Help("broker.all_unreachable", "requests rejected because no site answered")
+	reg.Help("broker.site.breaker_open", "circuit breakers opened after consecutive site failures")
+	reg.Help("broker.site.breaker_skips", "site calls skipped while a circuit was open")
+	reg.Help("broker.rpc.timeout", "site RPCs that exceeded their deadline")
 	reg.Help("broker.window.latency", "one probe/prepare/commit round")
 	reg.Help("broker.request.latency", "whole CoAllocate including retries")
 	return m
@@ -171,8 +215,23 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 type Broker struct {
 	cfg    BrokerConfig
 	sites  []Conn // sorted by name: the global prepare order
+	health map[string]*siteHealth
 	m      *brokerMetrics
 	tracer obs.Tracer
+
+	// epoch makes hold IDs unique across broker restarts: a restarted
+	// broker starts its counter at zero again, and without a per-process
+	// component it would reissue IDs that can collide with holds a site
+	// recovered from its WAL. See newHoldID.
+	epoch string
+
+	// clock and sleep are injectable for deterministic breaker/backoff
+	// tests; nil means real time.
+	clock func() time.Time
+	sleep func(time.Duration)
+
+	rngMu sync.Mutex
+	rng   *mrand.Rand // jitter source
 
 	mu       sync.Mutex
 	nextHold int64
@@ -192,7 +251,119 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 			return nil, fmt.Errorf("grid: duplicate site name %q", ordered[i].Name())
 		}
 	}
-	return &Broker{cfg: cfg, sites: ordered, m: newBrokerMetrics(cfg.Registry), tracer: cfg.Tracer}, nil
+	health := make(map[string]*siteHealth, len(ordered))
+	for _, c := range ordered {
+		health[c.Name()] = &siteHealth{}
+	}
+	return &Broker{
+		cfg:    cfg,
+		sites:  ordered,
+		health: health,
+		m:      newBrokerMetrics(cfg.Registry),
+		tracer: cfg.Tracer,
+		epoch:  newEpoch(),
+		rng:    mrand.New(mrand.NewSource(time.Now().UnixNano())),
+	}, nil
+}
+
+// newEpoch draws a random per-broker-instance token. crypto/rand never
+// repeats across restarts in practice (48 bits of entropy per broker
+// lifetime); if the system's randomness is unavailable the broker falls
+// back to the boot time, which still differs across restarts.
+func newEpoch() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// now returns the broker's clock (injectable in tests).
+func (b *Broker) now() time.Time {
+	if b.clock != nil {
+		return b.clock()
+	}
+	return time.Now()
+}
+
+// pause sleeps through the broker's sleeper (injectable in tests).
+func (b *Broker) pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if b.sleep != nil {
+		b.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// jitter perturbs d by ±50%, decorrelating breaker cooldowns and retry
+// backoffs across sites and brokers.
+func (b *Broker) jitter(d time.Duration) time.Duration {
+	if d <= 0 || b.rng == nil {
+		return d
+	}
+	b.rngMu.Lock()
+	f := 0.5 + b.rng.Float64() // [0.5, 1.5)
+	b.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// healthFor returns the breaker record for a connection; nil for brokers
+// assembled as struct literals in tests.
+func (b *Broker) healthFor(c Conn) *siteHealth {
+	if b.health == nil {
+		return nil
+	}
+	return b.health[c.Name()]
+}
+
+// siteOK records a successful interaction with a site, closing its breaker
+// if it was open.
+func (b *Broker) siteOK(c Conn) {
+	h := b.healthFor(c)
+	if h == nil {
+		return
+	}
+	if h.success() {
+		b.event(obs.EventBreakerClose, slog.String("site", c.Name()))
+	}
+}
+
+// siteFailed records a failed interaction with a site: timeout accounting,
+// consecutive-failure tracking, and the open transition with its event and
+// counter.
+func (b *Broker) siteFailed(c Conn, err error) {
+	if b.m != nil && isTimeoutErr(err) {
+		b.m.rpcTimeouts.Inc()
+	}
+	h := b.healthFor(c)
+	if h == nil {
+		return
+	}
+	opened := h.failure(b.now(), b.cfg.BreakerThreshold, b.cfg.BreakerCooldown, b.cfg.BreakerCooldownMax, b.jitter)
+	if opened {
+		if b.m != nil {
+			b.m.breakerOpen.Inc()
+		}
+		b.event(obs.EventBreakerOpen, slog.String("site", c.Name()), slog.String("cause", err.Error()))
+	}
+}
+
+// Health reports each site's breaker state in prepare order.
+func (b *Broker) Health() []SiteHealth {
+	out := make([]SiteHealth, 0, len(b.sites))
+	for _, c := range b.sites {
+		sh := SiteHealth{Site: c.Name(), State: "closed"}
+		if h := b.healthFor(c); h != nil {
+			state, fails := h.snapshot()
+			sh.State = breakerStateName(state)
+			sh.Failures = fails
+		}
+		out = append(out, sh)
+	}
+	return out
 }
 
 // event emits a tracer event if a tracer is configured.
@@ -212,11 +383,21 @@ func (b *Broker) Stats() BrokerStats {
 // Sites returns the broker's site connections in prepare order.
 func (b *Broker) Sites() []Conn { return append([]Conn(nil), b.sites...) }
 
+// newHoldID issues a hold ID that is unique across broker restarts, not
+// just within one process. Sites remember committed holds (and recover
+// them from their WALs), so a restarted broker whose counter restarted at
+// zero would otherwise reissue "<name>-1" and collide with a hold the site
+// still tracks; the per-instance epoch token makes every incarnation's IDs
+// disjoint.
 func (b *Broker) newHoldID() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.nextHold++
-	return fmt.Sprintf("%s-%d", b.cfg.Name, b.nextHold)
+	if b.epoch == "" {
+		// Struct-literal brokers in tests keep the legacy format.
+		return fmt.Sprintf("%s-%d", b.cfg.Name, b.nextHold)
+	}
+	return fmt.Sprintf("%s-%s-%d", b.cfg.Name, b.epoch, b.nextHold)
 }
 
 // CoAllocate finds a window in which the grid can supply the request's
@@ -278,6 +459,23 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 				slog.String("hold", ce.HoldID))
 			return MultiAllocation{}, err
 		}
+		if errors.Is(err, ErrAllSitesUnreachable) {
+			// An outage, not capacity exhaustion: walking the Δt ladder
+			// would just repeat the same timed-out probe round MaxAttempts
+			// times. Fail fast and distinctly so callers (and dashboards)
+			// can tell "the grid is full" from "the grid is gone".
+			b.mu.Lock()
+			b.stats.Unreachable++
+			b.mu.Unlock()
+			if b.m != nil {
+				b.m.allUnreachable.Inc()
+			}
+			b.event(obs.EventReject,
+				slog.Int64("job", req.ID),
+				slog.String("reason", "all sites unreachable"),
+				slog.Int("attempt", attempt))
+			return MultiAllocation{}, fmt.Errorf("grid: co-allocation impossible: %w", err)
+		}
 		lastErr = err
 		start = start.Add(b.cfg.DeltaT)
 		if attempt < b.cfg.MaxAttempts {
@@ -303,7 +501,9 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 // probeSites fans one probe round out over the sites through a bounded
 // worker pool: one round trip per site carrying both availability and
 // capacity. An unreachable site contributes Avail{Err: err} with both
-// numbers zero.
+// numbers zero. Sites with an open circuit breaker are skipped without a
+// round trip — they fail fast with ErrCircuitOpen so one hung site cannot
+// slow every probe round to its timeout.
 func (b *Broker) probeSites(now, start, end period.Time) []Avail {
 	avail := make([]Avail, len(b.sites))
 	workers := b.cfg.ProbeWorkers
@@ -321,15 +521,24 @@ func (b *Broker) probeSites(now, start, end period.Time) []Avail {
 			defer wg.Done()
 			for i := range idx {
 				c := b.sites[i]
+				if h := b.healthFor(c); h != nil && !h.allow(b.now()) {
+					avail[i] = Avail{Conn: c, Err: fmt.Errorf("%s: %w", c.Name(), ErrCircuitOpen)}
+					if b.m != nil {
+						b.m.breakerSkips.Inc()
+					}
+					continue
+				}
 				r, err := c.Probe(now, start, end)
 				if err != nil {
 					avail[i] = Avail{Conn: c, Err: err}
 					if b.m != nil {
 						b.m.unreachable.Inc()
 					}
+					b.siteFailed(c, err)
 					continue
 				}
 				avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity}
+				b.siteOK(c)
 			}
 		}()
 	}
@@ -348,6 +557,20 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	}
 	avail := b.probeSites(now, start, end)
 
+	// When not a single site answered, the grid is not out of capacity —
+	// it is unreachable. Surface that as its own error so CoAllocate can
+	// skip the Δt retry ladder: a later window cannot help when nothing
+	// answers probes.
+	reachable := 0
+	for _, a := range avail {
+		if a.Err == nil {
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		return MultiAllocation{}, fmt.Errorf("probe round reached 0 of %d sites: %w", len(avail), ErrAllSitesUnreachable)
+	}
+
 	shares, err := b.cfg.Strategy.Split(total, avail)
 	if err != nil {
 		return MultiAllocation{}, err
@@ -363,8 +586,19 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	for _, sh := range shares {
 		servers, err := sh.Conn.Prepare(now, holdID, start, end, sh.Servers, b.cfg.Lease)
 		if err != nil {
+			b.siteFailed(sh.Conn, err)
+			// A timed-out prepare is ambiguous: the request may have reached
+			// the site and leased the servers even though the reply never
+			// came. Send a best-effort abort so a landed hold is released
+			// now rather than leaking until its lease expires; if the site
+			// is truly unreachable the abort fails too and the lease backs
+			// us up.
+			aborts := prepared
+			if isTimeoutErr(err) {
+				aborts = append(append([]Conn(nil), prepared...), sh.Conn)
+			}
 			// Phase 1 failed: abort everything prepared so far.
-			for _, p := range prepared {
+			for _, p := range aborts {
 				_ = p.Abort(now, holdID) // best effort; leases back us up
 				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
 			}
@@ -376,6 +610,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			}
 			return MultiAllocation{}, fmt.Errorf("grid: prepare failed at %s: %w", sh.Conn.Name(), err)
 		}
+		b.siteOK(sh.Conn)
 		prepared = append(prepared, sh.Conn)
 		granted = append(granted, GrantedShare{Site: sh.Conn.Name(), Servers: servers})
 		b.event(obs.EventPrepare,
@@ -397,16 +632,27 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	var commitErr error
 	for _, c := range prepared {
 		var err error
+		backoff := b.cfg.RetryBackoff
 		for r := 0; r < retries; r++ {
+			if r > 0 && backoff > 0 {
+				// Exponential backoff with jitter between re-deliveries: a
+				// site that refused or timed out a moment ago rarely
+				// recovers in microseconds, and synchronized hammering from
+				// many brokers only prolongs the brownout.
+				b.pause(b.jitter(backoff))
+				backoff *= 2
+			}
 			if err = c.Commit(now, holdID); err == nil {
 				break
 			}
+			b.siteFailed(c, err)
 		}
 		if err != nil {
 			failed = append(failed, c.Name())
 			commitErr = err
 			continue
 		}
+		b.siteOK(c)
 		committed = append(committed, c.Name())
 		committedConns = append(committedConns, c)
 		b.event(obs.EventCommit, slog.String("hold", holdID), slog.String("site", c.Name()))

@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen marks a site the broker is deliberately not talking to:
+// its circuit breaker is open after consecutive failures and its cooldown
+// has not elapsed. Probes against such a site fail instantly instead of
+// burning a timeout.
+var ErrCircuitOpen = errors.New("grid: site circuit open")
+
+// ErrAllSitesUnreachable is returned by CoAllocate when a probe round
+// reached no site at all. It is an outage signal, distinct from
+// ErrNoCapacity: retrying the window Δt later cannot help when nothing
+// answers, so the broker fails fast instead of walking the retry ladder.
+var ErrAllSitesUnreachable = errors.New("grid: no site reachable")
+
+// isTimeoutErr classifies an error as a deadline expiry without importing
+// the wire package (which imports grid): wire's call timeouts satisfy
+// errors.Is(err, os.ErrDeadlineExceeded), and raw net deadlines implement
+// net.Error with Timeout() true.
+func isTimeoutErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// breaker states. The machine is the classic three-state circuit breaker:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapsed)──▶ half-open (one trial admitted)
+//	half-open ──(trial succeeds)──▶ closed
+//	half-open ──(trial fails)──▶ open again, cooldown doubled (capped)
+//
+// Cooldowns carry jitter so a broker federating many sites does not retry
+// them in lockstep after a common outage.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// siteHealth tracks one site's failure state. All methods take the current
+// wall-clock time from the caller so tests can drive the machine with a
+// fake clock.
+type siteHealth struct {
+	mu        sync.Mutex
+	state     int
+	fails     int // consecutive failures while closed
+	openUntil time.Time
+	cooldown  time.Duration // current open period, pre-jitter
+	probing   bool          // a half-open trial is in flight
+}
+
+// allow reports whether a request may be sent to the site. An open circuit
+// whose cooldown has elapsed admits exactly one caller as the half-open
+// trial; everyone else keeps failing fast until the trial resolves.
+func (h *siteHealth) allow(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case breakerOpen:
+		if now.Before(h.openUntil) {
+			return false
+		}
+		h.state = breakerHalfOpen
+		h.probing = true
+		return true
+	case breakerHalfOpen:
+		if h.probing {
+			return false
+		}
+		h.probing = true
+		return true
+	}
+	return true
+}
+
+// success records a successful interaction. It reports whether the circuit
+// closed as a result (it was open or half-open before), so the broker can
+// emit a recovery event exactly once.
+func (h *siteHealth) success() (recovered bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	recovered = h.state != breakerClosed
+	h.state = breakerClosed
+	h.fails = 0
+	h.probing = false
+	h.cooldown = 0
+	return recovered
+}
+
+// failure records a failed interaction under the given threshold and
+// cooldown policy; jitter perturbs the cooldown. It reports whether the
+// circuit opened (or re-opened) as a result.
+func (h *siteHealth) failure(now time.Time, threshold int, base, max time.Duration, jitter func(time.Duration) time.Duration) (opened bool) {
+	if threshold <= 0 {
+		return false // breaker disabled
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case breakerHalfOpen:
+		// The trial failed: back off harder.
+		h.probing = false
+		h.cooldown *= 2
+		if h.cooldown > max {
+			h.cooldown = max
+		}
+		h.state = breakerOpen
+		h.openUntil = now.Add(jitter(h.cooldown))
+		return true
+	case breakerClosed:
+		h.fails++
+		if h.fails >= threshold {
+			h.state = breakerOpen
+			h.cooldown = base
+			h.openUntil = now.Add(jitter(base))
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the current state for debugging/stats.
+func (h *siteHealth) snapshot() (state int, fails int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.fails
+}
+
+// SiteHealth describes one site's breaker state for operators.
+type SiteHealth struct {
+	Site     string
+	State    string // "closed", "open", or "half-open"
+	Failures int    // consecutive failures while closed
+}
+
+// breakerStateName renders a breaker state.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

@@ -27,6 +27,12 @@ const (
 
 	// EventCheckpoint marks a durable cut of site state into its WAL.
 	EventCheckpoint = "checkpoint"
+
+	// EventBreakerOpen / EventBreakerClose mark a broker opening a site's
+	// circuit breaker after consecutive failures and closing it again after
+	// a successful half-open trial.
+	EventBreakerOpen  = "breaker_open"
+	EventBreakerClose = "breaker_close"
 )
 
 // Tracer receives structured per-request events. Implementations must be

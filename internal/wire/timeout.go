@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"os"
+	"time"
+)
+
+// ClientConfig bounds a client's network interactions. The zero value
+// preserves the historical behavior: no deadlines, block forever.
+//
+// The two timeouts compose into a per-call bound: a call can spend at most
+// DialTimeout establishing a connection (when the previous one broke) plus
+// CallTimeout waiting for the reply. A hung or partitioned site therefore
+// costs a broker a bounded, configurable amount of time instead of wedging
+// it indefinitely.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (TCP connect). 0 means no
+	// bound.
+	DialTimeout time.Duration
+	// CallTimeout bounds each RPC from request write to reply decode. A call
+	// that exceeds it returns an error satisfying errors.Is(err,
+	// os.ErrDeadlineExceeded) and the connection is severed (the next call
+	// redials). 0 means no bound.
+	CallTimeout time.Duration
+}
+
+// deadlineConn arms a write deadline before every Write. net/rpc sends
+// requests synchronously in the caller's goroutine, so without this a peer
+// that stopped draining its socket would block the *sender* forever —
+// before the call-level timer in Client.call even starts ticking. Reads
+// need no per-op deadline here: the response side is bounded by that
+// call-level timer, which severs the connection when it fires.
+type deadlineConn struct {
+	net.Conn
+	writeTimeout time.Duration
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	if d.writeTimeout > 0 {
+		if err := d.Conn.SetWriteDeadline(time.Now().Add(d.writeTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return d.Conn.Write(p)
+}
+
+// idleConn arms a read deadline before every Read, so a server goroutine
+// parked on a client that vanished without closing its socket (half-open
+// TCP after a partition) is reclaimed instead of leaking forever.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (ic *idleConn) Read(p []byte) (int, error) {
+	if ic.timeout > 0 {
+		if err := ic.Conn.SetReadDeadline(time.Now().Add(ic.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return ic.Conn.Read(p)
+}
+
+// isConnError reports whether an RPC error means the transport is broken
+// (timeout, severed connection, codec failure) rather than the remote
+// handler returning an application error. Application errors travel as
+// rpc.ServerError; everything else implies the connection can no longer be
+// trusted and must be redialed.
+func isConnError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// IsTimeout reports whether err is a deadline expiry — a call that exceeded
+// CallTimeout, a write that exceeded its deadline, or any net.Error
+// timeout. Brokers use it to tell "site is slow or unreachable" from "site
+// refused the operation".
+func IsTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

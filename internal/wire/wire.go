@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"os"
 	"sync"
 	"time"
 
@@ -218,6 +219,12 @@ type Server struct {
 	svc  *Service
 	rpc  *rpc.Server
 
+	// IdleTimeout, when positive, bounds how long a client connection may
+	// sit with no request in flight before the server reclaims it — a
+	// defense against half-open sockets left by partitioned brokers. Set
+	// before Serve.
+	IdleTimeout time.Duration
+
 	mu     sync.Mutex
 	l      net.Listener
 	closed bool // Shutdown started: reject late-accepted connections
@@ -260,6 +267,9 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
+		}
+		if s.IdleTimeout > 0 {
+			conn = &idleConn{Conn: conn, timeout: s.IdleTimeout}
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -329,30 +339,114 @@ func (s *Server) Shutdown(grace time.Duration) error {
 
 // Client is a broker-side connection to a remote site. It implements
 // grid.Conn.
+//
+// When built through DialConfig with a CallTimeout, every RPC is bounded:
+// a call that does not complete in time returns an error satisfying
+// errors.Is(err, os.ErrDeadlineExceeded), the wedged connection is severed,
+// and the next call transparently redials (bounded by DialTimeout). A site
+// daemon restart therefore costs a broker one failed call, not a dead
+// client.
 type Client struct {
 	name    string
 	servers int
-	c       *rpc.Client
+	network string
+	addr    string
+	cfg     ClientConfig
+
+	mu sync.Mutex
+	c  *rpc.Client // nil after the transport broke; redialed lazily
+	// closed refuses redials after Close, so a shut-down client stays shut.
+	closed bool
 
 	// optional telemetry; see Instrument
-	latency map[string]*obs.Histogram
-	errs    *obs.Counter
+	latency    map[string]*obs.Histogram
+	errs       *obs.Counter
+	timeouts   *obs.Counter
+	reconnects *obs.Counter
 }
 
 var _ grid.Conn = (*Client)(nil)
 
-// Dial connects to a site daemon and fetches its identity.
+// Dial connects to a site daemon and fetches its identity, with no
+// deadlines (the historical behavior). Production brokers should prefer
+// DialConfig with explicit timeouts.
 func Dial(network, addr string) (*Client, error) {
-	c, err := rpc.Dial(network, addr)
+	return DialConfig(network, addr, ClientConfig{})
+}
+
+// DialConfig connects to a site daemon with the given deadline
+// configuration and fetches its identity. The identity handshake itself is
+// bounded by the configured timeouts.
+func DialConfig(network, addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{network: network, addr: addr, cfg: cfg}
+	rc, err := c.redialLocked()
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, err
 	}
+	c.c = rc
 	var info InfoReply
-	if err := c.Call(ServiceName+".Info", InfoArgs{}, &info); err != nil {
+	if err := c.call("Info", InfoArgs{}, &info); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("wire: info %s: %w", addr, err)
 	}
-	return &Client{name: info.Name, servers: info.Servers, c: c}, nil
+	c.name = info.Name
+	c.servers = info.Servers
+	return c, nil
+}
+
+// redialLocked establishes a fresh rpc connection honoring DialTimeout. The
+// caller either holds c.mu or has exclusive access (construction).
+func (c *Client) redialLocked() (*rpc.Client, error) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	if c.cfg.DialTimeout > 0 {
+		conn, err = net.DialTimeout(c.network, c.addr, c.cfg.DialTimeout)
+	} else {
+		conn, err = net.Dial(c.network, c.addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	if c.cfg.CallTimeout > 0 {
+		conn = &deadlineConn{Conn: conn, writeTimeout: c.cfg.CallTimeout}
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// client returns the live rpc client, redialing if the previous transport
+// broke.
+func (c *Client) client() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, rpc.ErrShutdown
+	}
+	if c.c != nil {
+		return c.c, nil
+	}
+	rc, err := c.redialLocked()
+	if err != nil {
+		return nil, err
+	}
+	c.c = rc
+	if c.reconnects != nil {
+		c.reconnects.Inc()
+	}
+	return rc, nil
+}
+
+// sever discards a broken transport so the next call redials. Only the
+// transport that actually failed is discarded: a concurrent call may
+// already have installed a fresh one.
+func (c *Client) sever(broken *rpc.Client) {
+	c.mu.Lock()
+	if c.c == broken {
+		c.c = nil
+	}
+	c.mu.Unlock()
+	broken.Close()
 }
 
 // Instrument installs per-method RPC latency histograms and an error
@@ -368,19 +462,59 @@ func (c *Client) Instrument(reg *obs.Registry) {
 		c.latency[m] = reg.Histogram(prefix + m + ".latency")
 	}
 	c.errs = reg.Counter(prefix + "errors")
+	c.timeouts = reg.Counter(prefix + "timeouts")
+	c.reconnects = reg.Counter(prefix + "reconnects")
 	reg.Help(prefix+"errors", "RPC calls to this site that returned an error")
+	reg.Help(prefix+"timeouts", "RPC calls to this site that exceeded CallTimeout")
+	reg.Help(prefix+"reconnects", "transparent redials after a broken transport")
 }
 
-// call routes one RPC through the telemetry wrapper.
+// call routes one RPC through the deadline and telemetry wrappers. With a
+// CallTimeout configured the call is raced against a timer; on expiry the
+// connection is severed — unblocking net/rpc's reader and failing every
+// call multiplexed on it — and the caller gets a timeout error. Without
+// one, it blocks like plain net/rpc.
 func (c *Client) call(method string, args, reply any) error {
 	if c.latency != nil {
 		defer c.latency[method].Since(time.Now())
 	}
-	err := c.c.Call(ServiceName+"."+method, args, reply)
+	err := c.callOnce(method, args, reply)
 	if err != nil && c.errs != nil {
 		c.errs.Inc()
 	}
 	return err
+}
+
+func (c *Client) callOnce(method string, args, reply any) error {
+	rc, err := c.client()
+	if err != nil {
+		return err
+	}
+	if c.cfg.CallTimeout <= 0 {
+		err := rc.Call(ServiceName+"."+method, args, reply)
+		if isConnError(err) {
+			c.sever(rc)
+		}
+		return err
+	}
+	call := rc.Go(ServiceName+"."+method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(c.cfg.CallTimeout)
+	defer timer.Stop()
+	select {
+	case done := <-call.Done:
+		if isConnError(done.Error) {
+			c.sever(rc)
+		}
+		return done.Error
+	case <-timer.C:
+		// The reply never came. Sever the transport: that unblocks the rpc
+		// reader, fails the abandoned call, and lets the next call redial.
+		c.sever(rc)
+		if c.timeouts != nil {
+			c.timeouts.Inc()
+		}
+		return fmt.Errorf("wire: %s %s after %v: %w", method, c.addr, c.cfg.CallTimeout, os.ErrDeadlineExceeded)
+	}
 }
 
 // Name implements grid.Conn.
@@ -449,5 +583,15 @@ func (c *Client) Stats() (grid.SiteStatus, error) {
 	return reply.Status, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.c.Close() }
+// Close releases the connection and refuses further redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.c == nil {
+		return nil
+	}
+	err := c.c.Close()
+	c.c = nil
+	return err
+}
