@@ -50,6 +50,9 @@ func main() {
 		probe     = flag.Bool("probe", false, "only probe availability; commit nothing")
 		brkThresh = flag.Int("breaker-threshold", 5, "consecutive site failures before its circuit opens (negative disables)")
 		brkCool   = flag.Duration("breaker-cooldown", 2*time.Second, "initial open-circuit cooldown before a half-open trial")
+		cache     = flag.Bool("cache", false, "cache probe answers under each site's epoch and coalesce identical in-flight probes (speeds up the Δt retry ladder)")
+		cacheBkt  = flag.Int64("cache-bucket", 900, "cache key quantum for window starts and durations, in simulation seconds")
+		cacheMax  = flag.Int("cache-entries", 4096, "cached windows kept per site")
 		cfg       = timeoutFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -78,6 +81,9 @@ func main() {
 		Strategy:         strat,
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
+		ProbeCache:       *cache,
+		CacheBucket:      period.Duration(*cacheBkt),
+		CacheEntries:     *cacheMax,
 	}, conns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridctl:", err)
@@ -91,6 +97,7 @@ func main() {
 			fmt.Printf("site %-12s %3d of %3d servers free over [%d,%d)\n",
 				a.Conn.Name(), a.Available, a.Capacity, s, e)
 		}
+		printCacheStats(broker, *cache)
 		return
 	}
 
@@ -109,4 +116,16 @@ func main() {
 	for _, sh := range alloc.Shares {
 		fmt.Printf("  site %-12s servers %v\n", sh.Site, sh.Servers)
 	}
+	printCacheStats(broker, *cache)
+}
+
+// printCacheStats summarizes the availability cache's work when it was on —
+// on a Δt retry ladder the hits line shows how many probe RPCs it saved.
+func printCacheStats(b *grid.Broker, enabled bool) {
+	if !enabled {
+		return
+	}
+	cs := b.CacheStats()
+	fmt.Printf("cache: %d hits, %d misses, %d coalesced, %d stale, %d invalidated\n",
+		cs.Hits, cs.Misses, cs.Coalesced, cs.Stale, cs.Invalidations)
 }

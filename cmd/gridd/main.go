@@ -18,6 +18,11 @@
 // exactly as if it had stayed up. Unlike -wal it offers no crash safety
 // between shutdowns.
 //
+// Probe, range, and prepare replies carry the site's availability epoch so
+// caching brokers can reuse answers until the site mutates; -suppress-epochs
+// omits that metadata, byte-compatibly emulating a pre-epoch site binary
+// (brokers then fall back to uncached probing).
+//
 // With -debug the daemon also serves observability endpoints over HTTP:
 // /metrics (Prometheus text; ?format=json for expvar-style), /healthz,
 // /statusz, and the standard /debug/pprof/ profiles. -trace additionally
@@ -66,6 +71,7 @@ func main() {
 		walSyncEvery = flag.Duration("wal-sync-every", 100*time.Millisecond, "fsync cadence for -wal-sync=interval")
 		ckptEvery    = flag.Duration("checkpoint-every", 5*time.Minute, "auto-checkpoint cadence with -wal (0 disables)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 disables; reclaims sockets from half-dead brokers)")
+		noEpochs     = flag.Bool("suppress-epochs", false, "omit epoch metadata from replies, emulating a pre-epoch site binary (callers' availability caches stay cold)")
 		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (disabled when empty)")
 		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
 	)
@@ -104,6 +110,9 @@ func main() {
 		os.Exit(1)
 	}
 	srv.IdleTimeout = *idleTimeout
+	if *noEpochs {
+		srv.SuppressEpochs()
+	}
 	if reg != nil {
 		site.Instrument(reg, tracer)
 		srv.Instrument(reg)

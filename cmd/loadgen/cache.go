@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+	"coalloc/internal/wire"
+)
+
+// cachePhase is the measurement for one half of a cache run: the same
+// repeat-heavy probe workload against an uncached broker, then against one
+// with the availability cache on.
+type cachePhase struct {
+	Phase     string  `json:"phase"` // "uncached" or "cached"
+	Seconds   float64 `json:"seconds"`
+	ProbeOps  int64   `json:"probeOps"`
+	ProbeRate float64 `json:"probeOpsPerSec"`
+	ProbeP50  float64 `json:"probeP50Micros"`
+	ProbeP99  float64 `json:"probeP99Micros"`
+	// Cache counters; all zero for the uncached phase.
+	CacheHits      uint64  `json:"cacheHits,omitempty"`
+	CacheMisses    uint64  `json:"cacheMisses,omitempty"`
+	CacheCoalesced uint64  `json:"cacheCoalesced,omitempty"`
+	HitRate        float64 `json:"cacheHitRate,omitempty"`
+}
+
+// cacheResult is a whole cache run.
+type cacheResult struct {
+	Mode        string       `json:"mode"`
+	Sites       int          `json:"sites"`
+	Servers     int          `json:"serversPerSite"`
+	Clients     int          `json:"clients"`
+	Windows     int          `json:"distinctWindows"`
+	CallTimeout string       `json:"callTimeout"`
+	Phases      []cachePhase `json:"phases"`
+	Speedup     float64      `json:"probeSpeedup"` // cached rate / uncached rate
+}
+
+// cacheMember is one federation member of the cache harness: a real site
+// behind a real wire server on loopback TCP, so the cached phase's savings
+// are measured against genuine RPC round trips, not in-process calls.
+type cacheMember struct {
+	server *wire.Server
+	client *wire.Client
+}
+
+func (m *cacheMember) close() {
+	if m.client != nil {
+		m.client.Close()
+	}
+	if m.server != nil {
+		m.server.Close()
+	}
+}
+
+func startCacheMember(name string, servers int, slotSize int64, slots int, cfg wire.ClientConfig) (*cacheMember, error) {
+	site, err := seedSite(name, servers, slotSize, slots)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer(site)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go srv.Serve(l)
+	m := &cacheMember{server: srv}
+	m.client, err = wire.DialConfig("tcp", l.Addr().String(), cfg)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// cacheLoad drives closed-loop ProbeAll clients cycling through a small set
+// of distinct windows — the shape of a Δt retry ladder, where every attempt
+// re-probes windows the broker has already asked every site about.
+func cacheLoad(phase string, br *grid.Broker, clients, windows int, dur time.Duration) cachePhase {
+	base := period.Time(int64(period.Hour))
+	var ops int64
+	lat := &sampler{}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			for i := 0; !stop.Load(); i++ {
+				w := base.Add(period.Duration(i%windows) * 15 * period.Minute)
+				t0 := time.Now()
+				br.ProbeAll(0, w, w.Add(period.Hour))
+				lat.observe(time.Since(t0))
+				n++
+			}
+			atomic.AddInt64(&ops, n)
+		}()
+	}
+	t0 := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	p := cachePhase{
+		Phase:     phase,
+		Seconds:   elapsed,
+		ProbeOps:  ops,
+		ProbeRate: float64(ops) / elapsed,
+		ProbeP50:  lat.percentile(0.50),
+		ProbeP99:  lat.percentile(0.99),
+	}
+	cs := br.CacheStats()
+	p.CacheHits, p.CacheMisses, p.CacheCoalesced = cs.Hits, cs.Misses, cs.Coalesced
+	if total := cs.Hits + cs.Misses; total > 0 {
+		p.HitRate = float64(cs.Hits) / float64(total)
+	}
+	return p
+}
+
+// runCache measures what the availability cache buys on a repeat-heavy
+// workload: the same closed-loop ProbeAll clients cycling a handful of
+// windows run first against an uncached broker, then against a caching one,
+// over the same real-TCP federation (probes mutate nothing, so the site
+// state — and therefore the answers — are identical across phases).
+func runCache(servers int, slotSize int64, slots, clients, windows int, dur, callTimeout time.Duration) (cacheResult, error) {
+	const sites = 3
+	cfg := wire.ClientConfig{DialTimeout: callTimeout, CallTimeout: callTimeout}
+	members := make([]*cacheMember, 0, sites)
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	conns := make([]grid.Conn, 0, sites)
+	for i := 0; i < sites; i++ {
+		m, err := startCacheMember(fmt.Sprintf("site-%d", i), servers, slotSize, slots, cfg)
+		if err != nil {
+			return cacheResult{}, err
+		}
+		members = append(members, m)
+		conns = append(conns, m.client)
+	}
+	newBroker := func(cached bool) (*grid.Broker, error) {
+		return grid.NewBroker(grid.BrokerConfig{
+			Name:       "loadgen",
+			ProbeCache: cached,
+		}, conns...)
+	}
+
+	res := cacheResult{
+		Mode:        "cache",
+		Sites:       sites,
+		Servers:     servers,
+		Clients:     clients,
+		Windows:     windows,
+		CallTimeout: callTimeout.String(),
+	}
+	for _, phase := range []string{"uncached", "cached"} {
+		br, err := newBroker(phase == "cached")
+		if err != nil {
+			return cacheResult{}, err
+		}
+		res.Phases = append(res.Phases, cacheLoad(phase, br, clients, windows, dur/2))
+	}
+	if res.Phases[0].ProbeRate > 0 {
+		res.Speedup = res.Phases[1].ProbeRate / res.Phases[0].ProbeRate
+	}
+	return res, nil
+}
+
+// cacheMain implements -mode cache and prints the result as JSON.
+func cacheMain(servers int, slotSize int64, slots, clients, windows int, dur, callTimeout time.Duration, out string) {
+	res, err := runCache(servers, slotSize, slots, clients, windows, dur, callTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	for _, p := range res.Phases {
+		extra := ""
+		if p.Phase == "cached" {
+			extra = fmt.Sprintf(" hit-rate=%.1f%% coalesced=%d", 100*p.HitRate, p.CacheCoalesced)
+		}
+		fmt.Fprintf(os.Stderr, "cache %-9s clients=%d probe=%.0f/s (p50 %.0fus p99 %.0fus)%s\n",
+			p.Phase, clients, p.ProbeRate, p.ProbeP50, p.ProbeP99, extra)
+	}
+	fmt.Fprintf(os.Stderr, "cache speedup: %.1fx\n", res.Speedup)
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

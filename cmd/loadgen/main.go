@@ -6,12 +6,20 @@
 //	loadgen -mode mixed -wal /tmp/j   # probes racing fsync-backed writers
 //	loadgen -mode write -wal /tmp/j   # group-commit write throughput
 //	loadgen -mode chaos               # broker over TCP with one site hung
+//	loadgen -mode cache               # availability cache vs raw RPC probes
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
 // of -duration, hangs one site mid-RPC for the other half, and reports both
 // phases side by side: the degraded numbers show the cost of the per-call
 // timeout and the breaker's fail-fast, not an unbounded stall.
+//
+// -mode cache boots a three-site federation over loopback TCP and runs the
+// same repeat-heavy closed-loop probe workload (clients cycling through
+// -cache-windows distinct windows, the shape of a Δt retry ladder) twice:
+// against an uncached broker and against one with the epoch-keyed
+// availability cache on. The report shows both phases' throughput and
+// latency plus the cached phase's hit rate and the overall speedup.
 //
 // Each mode runs the client counts given by -clients back to back against a
 // fresh seeded site, so the numbers across counts are comparable. The
@@ -94,8 +102,8 @@ func (s *sampler) percentile(p float64) float64 {
 // seedSite builds a site with a spread of committed reservations so probe
 // searches traverse non-trivial slot trees, mirroring internal/grid's
 // benchmark fixture.
-func seedSite(servers int, slotSize int64, slots int) (*grid.Site, error) {
-	s, err := grid.NewSite("loadgen", core.Config{
+func seedSite(name string, servers int, slotSize int64, slots int) (*grid.Site, error) {
+	s, err := grid.NewSite(name, core.Config{
 		Servers:  servers,
 		SlotSize: period.Duration(slotSize),
 		Slots:    slots,
@@ -118,7 +126,7 @@ func seedSite(servers int, slotSize int64, slots int) (*grid.Site, error) {
 }
 
 func runPoint(mode string, servers int, slotSize int64, slots int, walDir string, clients int, dur time.Duration) (point, error) {
-	site, err := seedSite(servers, slotSize, slots)
+	site, err := seedSite("loadgen", servers, slotSize, slots)
 	if err != nil {
 		return point{}, err
 	}
@@ -218,18 +226,22 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, or chaos")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, or cache")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
-	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos")
-	callTimeout := flag.Duration("call-timeout", 200*time.Millisecond, "per-RPC deadline for -mode chaos")
+	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
+	callTimeout := flag.Duration("call-timeout", 200*time.Millisecond, "per-RPC deadline for -mode chaos and -mode cache")
 	seed := flag.Int64("seed", 1, "fault-injection seed for -mode chaos")
+	cacheWindows := flag.Int("cache-windows", 8, "distinct probe windows cycled by -mode cache (smaller = more repeat-heavy)")
 	flag.Parse()
 
 	switch *mode {
 	case "probe", "mixed", "write":
 	case "chaos":
 		chaosMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *seed, *out)
+		return
+	case "cache":
+		cacheMain(*servers, *slotSize, *slots, *chaosClients, *cacheWindows, *dur, *callTimeout, *out)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)

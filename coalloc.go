@@ -159,6 +159,11 @@ type (
 	MultiAllocation = grid.MultiAllocation
 	// SiteHealth reports one site's circuit-breaker state (Broker.Health).
 	SiteHealth = grid.SiteHealth
+	// RangeSite is the optional SiteConn extension for sites answering the
+	// user-facing range search (Broker.RangeAll).
+	RangeSite = grid.RangeConn
+	// SiteRange is one site's answer in a cross-site range search.
+	SiteRange = grid.SiteRange
 )
 
 // Broker failure signals (match via errors.Is).
@@ -238,6 +243,10 @@ type (
 	SiteStatus = grid.SiteStatus
 	// BrokerStats counts a broker's co-allocation outcomes.
 	BrokerStats = grid.BrokerStats
+	// CacheStats counts the broker availability cache's hits, misses,
+	// coalesced probes, and invalidations (Broker.CacheStats; all zeros
+	// unless BrokerConfig.ProbeCache is set).
+	CacheStats = grid.CacheStats
 	// OpsBreakdown attributes elementary tree operations to search, update,
 	// and rotation work (the paper's Fig. 7(b) metric).
 	OpsBreakdown = calendar.OpsBreakdown

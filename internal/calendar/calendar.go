@@ -56,6 +56,7 @@ func (c Config) Horizon() period.Duration { return c.SlotSize * period.Duration(
 type Calendar struct {
 	cfg       Config
 	ops       uint64 // operation counter: tree node visits and index probes
+	mut       uint64 // mutation epoch: bumped whenever an availability answer may change
 	breakdown OpsBreakdown
 	tm        *Timings       // optional wall-clock timings; see timings.go
 	dtm       *dtree.Timings // optional per-tree timings, shared by every slot
@@ -107,6 +108,16 @@ func (c *Calendar) Ops() uint64 { return c.ops }
 // (replaying an allocation does less search work than scheduling it did), so
 // each journal record carries the post-operation count instead.
 func (c *Calendar) SetOps(n uint64) { c.ops = n }
+
+// MutationEpoch returns a counter that increases on every committed mutation
+// that can change an availability answer: a successful Allocate, a successful
+// Release, and any Advance that rotates the slot window (expiring a slot
+// changes the set of searchable windows even when no reservation moved).
+// Clock movement within the current base slot does not bump it — probe and
+// range answers are a function of (window, reservations, base slot), not of
+// the exact clock value, so cached answers stay valid across such advances.
+// Brokers use the epoch as a cache-invalidation signal; see internal/grid.
+func (c *Calendar) MutationEpoch() uint64 { return c.mut }
 
 // OpsBreakdown attributes the operation count to the scheduler phases. The
 // paper notes (§4.2) that the update work "may be implemented in the
@@ -196,6 +207,7 @@ func (c *Calendar) Advance(now period.Time) {
 	if newBase <= c.base {
 		return
 	}
+	c.mut++
 	q := int64(c.cfg.Slots)
 	if newBase-c.base >= q {
 		// The entire window expired (a long idle jump): rebuild wholesale.
@@ -363,6 +375,7 @@ func (c *Calendar) Allocate(p period.Period, start, end period.Time) error {
 		}
 		c.insertFinite(period.Period{Server: p.Server, Start: p.Start, End: start})
 		c.tails.update(p.Server, p.Start, end)
+		c.mut++
 		return nil
 	}
 	if err := c.removeFinite(p); err != nil {
@@ -375,6 +388,7 @@ func (c *Calendar) Allocate(p period.Period, start, end period.Time) error {
 	}
 	c.insertFinite(period.Period{Server: p.Server, Start: p.Start, End: start})
 	c.insertFinite(period.Period{Server: p.Server, Start: end, End: p.End})
+	c.mut++
 	return nil
 }
 
@@ -432,6 +446,7 @@ func (c *Calendar) Release(server int, start, end, newEnd period.Time) error {
 	if !bl.truncate(start, end, newEnd) {
 		return fmt.Errorf("calendar: no reservation [%d,%d) on server %d", start, end, server)
 	}
+	c.mut++
 
 	// If the cancelled reservation had an idle gap before it, that gap must
 	// be merged: remove its tree copies first.

@@ -23,6 +23,7 @@ import (
 type View struct {
 	cfg        Config
 	now        period.Time
+	epoch      uint64 // Calendar.MutationEpoch at publication
 	base       int64
 	horizonEnd period.Time
 	slots      []*dtree.Tree // same ring layout as Calendar.slots (index = abs % Slots)
@@ -37,6 +38,7 @@ func (c *Calendar) PublishView() *View {
 	v := &View{
 		cfg:        c.cfg,
 		now:        c.now,
+		epoch:      c.mut,
 		base:       c.base,
 		horizonEnd: c.HorizonEnd(),
 		slots:      append([]*dtree.Tree(nil), c.slots...),
@@ -50,6 +52,10 @@ func (c *Calendar) PublishView() *View {
 
 // Now returns the instant the view was published at.
 func (v *View) Now() period.Time { return v.now }
+
+// Epoch returns the calendar's mutation epoch at publication. Two views with
+// equal epochs answer every availability question identically.
+func (v *View) Epoch() uint64 { return v.epoch }
 
 // HorizonEnd returns the right edge of the view's active window.
 func (v *View) HorizonEnd() period.Time { return v.horizonEnd }

@@ -146,6 +146,13 @@ func (s *Scheduler) HorizonEnd() period.Time { return s.cal.HorizonEnd() }
 // Ops returns the cumulative elementary-operation count (Fig. 7(b) metric).
 func (s *Scheduler) Ops() uint64 { return s.cal.Ops() }
 
+// MutationEpoch returns the calendar's mutation epoch: a counter that
+// increases whenever an availability answer may change (allocation, release,
+// slot rotation). Published views carry the epoch they were cut at, so a
+// broker can cache probe answers and invalidate them the moment the epoch
+// moves; see calendar.(*Calendar).MutationEpoch.
+func (s *Scheduler) MutationEpoch() uint64 { return s.cal.MutationEpoch() }
+
 // OpsBreakdown attributes the operation count to search, update, and
 // rotation work (see calendar.OpsBreakdown).
 func (s *Scheduler) OpsBreakdown() calendar.OpsBreakdown { return s.cal.Breakdown() }

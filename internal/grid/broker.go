@@ -64,7 +64,11 @@ type CommitError struct {
 	Committed []string
 	Aborted   []string // committed sites whose shares the broker released again
 	Failed    []string
-	Err       error
+	// Shares lists what each site had granted in phase 1, so a caller (or a
+	// test oracle) can account for the capacity a Failed site still leases
+	// until the hold expires.
+	Shares []GrantedShare
+	Err    error
 }
 
 // Error implements the error interface.
@@ -110,6 +114,17 @@ type BrokerConfig struct {
 	// attempts to the same site; default 10ms, doubling per attempt with
 	// jitter. Negative restores the historical immediate-retry behavior.
 	RetryBackoff time.Duration
+	// ProbeCache enables the broker-side availability cache: probe and
+	// range answers are remembered per site under the site's epoch and
+	// served without a round trip until the epoch moves, with concurrent
+	// identical probes coalesced into one RPC. Off by default. See
+	// probeCache in cache.go for the validity and invalidation rules.
+	ProbeCache bool
+	// CacheBucket quantizes window starts and durations into cache-key
+	// buckets; default 15 minutes (the paper's τ).
+	CacheBucket period.Duration
+	// CacheEntries bounds the cached windows per site; default 4096.
+	CacheEntries int
 	// Registry, if non-nil, receives 2PC outcome counters and window
 	// latencies under the "broker." prefix.
 	Registry *obs.Registry
@@ -151,6 +166,12 @@ func (c *BrokerConfig) applyDefaults() {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.CacheBucket <= 0 {
+		c.CacheBucket = 15 * period.Minute
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
 }
 
 // BrokerStats counts protocol outcomes.
@@ -175,6 +196,14 @@ type brokerMetrics struct {
 	rpcTimeouts                 *obs.Counter   // site RPCs that expired their deadline
 	windowLatency               *obs.Histogram // one probe/prepare/commit round
 	requestLatency              *obs.Histogram // whole CoAllocate including retries
+
+	// availability-cache counters; see probeCache in cache.go
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	cacheStale         *obs.Counter
+	cacheCoalesced     *obs.Counter
+	cacheInvalidations *obs.Counter
+	cacheEvictions     *obs.Counter
 }
 
 func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
@@ -194,6 +223,13 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		rpcTimeouts:    reg.Counter("broker.rpc.timeout"),
 		windowLatency:  reg.Histogram("broker.window.latency"),
 		requestLatency: reg.Histogram("broker.request.latency"),
+
+		cacheHits:          reg.Counter("broker.cache.hits"),
+		cacheMisses:        reg.Counter("broker.cache.misses"),
+		cacheStale:         reg.Counter("broker.cache.stale"),
+		cacheCoalesced:     reg.Counter("broker.cache.coalesced"),
+		cacheInvalidations: reg.Counter("broker.cache.invalidations"),
+		cacheEvictions:     reg.Counter("broker.cache.evictions"),
 	}
 	reg.Help("broker.requests", "cross-site co-allocation requests")
 	reg.Help("broker.granted", "requests committed atomically across sites")
@@ -207,6 +243,12 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.rpc.timeout", "site RPCs that exceeded their deadline")
 	reg.Help("broker.window.latency", "one probe/prepare/commit round")
 	reg.Help("broker.request.latency", "whole CoAllocate including retries")
+	reg.Help("broker.cache.hits", "probes answered from the availability cache")
+	reg.Help("broker.cache.misses", "probes that required a site round trip")
+	reg.Help("broker.cache.stale", "cache entries retired by a site epoch change")
+	reg.Help("broker.cache.coalesced", "probes that joined another caller's in-flight RPC")
+	reg.Help("broker.cache.invalidations", "site-wide cache drops around the broker's own 2PC traffic")
+	reg.Help("broker.cache.evictions", "cache entries displaced by the per-site bound")
 	return m
 }
 
@@ -217,6 +259,7 @@ type Broker struct {
 	sites  []Conn // sorted by name: the global prepare order
 	health map[string]*siteHealth
 	m      *brokerMetrics
+	cache  *probeCache // nil unless cfg.ProbeCache
 	tracer obs.Tracer
 
 	// epoch makes hold IDs unique across broker restarts: a restarted
@@ -255,7 +298,7 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 	for _, c := range ordered {
 		health[c.Name()] = &siteHealth{}
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:    cfg,
 		sites:  ordered,
 		health: health,
@@ -263,7 +306,11 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 		tracer: cfg.Tracer,
 		epoch:  newEpoch(),
 		rng:    mrand.New(mrand.NewSource(time.Now().UnixNano())),
-	}, nil
+	}
+	if cfg.ProbeCache {
+		b.cache = newProbeCache(cfg.CacheBucket, cfg.CacheEntries, b.m)
+	}
+	return b, nil
 }
 
 // newEpoch draws a random per-broker-instance token. crypto/rand never
@@ -498,14 +545,10 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	return MultiAllocation{}, fmt.Errorf("%w (last: %v)", ErrNoCapacity, lastErr)
 }
 
-// probeSites fans one probe round out over the sites through a bounded
-// worker pool: one round trip per site carrying both availability and
-// capacity. An unreachable site contributes Avail{Err: err} with both
-// numbers zero. Sites with an open circuit breaker are skipped without a
-// round trip — they fail fast with ErrCircuitOpen so one hung site cannot
-// slow every probe round to its timeout.
-func (b *Broker) probeSites(now, start, end period.Time) []Avail {
-	avail := make([]Avail, len(b.sites))
+// fanOut runs f(i) for every site index through a bounded worker pool, so
+// one round's footprint stays fixed no matter how many sites the federation
+// has. f is responsible for recording its own result.
+func (b *Broker) fanOut(f func(i int)) {
 	workers := b.cfg.ProbeWorkers
 	if workers < 1 {
 		workers = 1
@@ -520,25 +563,7 @@ func (b *Broker) probeSites(now, start, end period.Time) []Avail {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				c := b.sites[i]
-				if h := b.healthFor(c); h != nil && !h.allow(b.now()) {
-					avail[i] = Avail{Conn: c, Err: fmt.Errorf("%s: %w", c.Name(), ErrCircuitOpen)}
-					if b.m != nil {
-						b.m.breakerSkips.Inc()
-					}
-					continue
-				}
-				r, err := c.Probe(now, start, end)
-				if err != nil {
-					avail[i] = Avail{Conn: c, Err: err}
-					if b.m != nil {
-						b.m.unreachable.Inc()
-					}
-					b.siteFailed(c, err)
-					continue
-				}
-				avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity}
-				b.siteOK(c)
+				f(i)
 			}
 		}()
 	}
@@ -547,7 +572,149 @@ func (b *Broker) probeSites(now, start, end period.Time) []Avail {
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// breakerOpenFor reports (and accounts) whether the site's circuit is open,
+// failing the call fast instead of waiting out a timeout.
+func (b *Broker) breakerOpenFor(c Conn) error {
+	if h := b.healthFor(c); h != nil && !h.allow(b.now()) {
+		if b.m != nil {
+			b.m.breakerSkips.Inc()
+		}
+		return fmt.Errorf("%s: %w", c.Name(), ErrCircuitOpen)
+	}
+	return nil
+}
+
+// probeSites fans one probe round out over the sites through a bounded
+// worker pool: one round trip per site carrying both availability and
+// capacity. An unreachable site contributes Avail{Err: err} with both
+// numbers zero. Sites with an open circuit breaker are skipped without a
+// round trip — they fail fast with ErrCircuitOpen so one hung site cannot
+// slow every probe round to its timeout. With the availability cache
+// enabled, repeat probes of an unchanged site are answered locally and
+// concurrent identical probes share one RPC.
+func (b *Broker) probeSites(now, start, end period.Time) []Avail {
+	avail := make([]Avail, len(b.sites))
+	b.fanOut(func(i int) {
+		c := b.sites[i]
+		if err := b.breakerOpenFor(c); err != nil {
+			avail[i] = Avail{Conn: c, Err: err}
+			return
+		}
+		r, shared, err := b.cachedProbe(c, now, start, end)
+		if err != nil {
+			avail[i] = Avail{Conn: c, Err: err}
+			if b.m != nil {
+				b.m.unreachable.Inc()
+			}
+			if !shared {
+				b.siteFailed(c, err)
+			}
+			return
+		}
+		avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity}
+		if !shared {
+			b.siteOK(c)
+		}
+	})
 	return avail
+}
+
+// cachedProbe answers one site probe through the availability cache: a
+// valid entry short-circuits the RPC, a miss joins the single-flight group
+// for the exact request, and only the flight leader actually talks to the
+// site. shared reports that this caller did not perform the round trip
+// itself (cache hit or coalesced follower) — breaker accounting is the
+// leader's job alone, otherwise one timeout would be counted once per
+// waiter and trip the breaker in a single round.
+func (b *Broker) cachedProbe(c Conn, now, start, end period.Time) (r ProbeResult, shared bool, err error) {
+	pc := b.cache
+	if pc == nil {
+		r, err = c.Probe(now, start, end)
+		return r, false, err
+	}
+	site := c.Name()
+	if e, ok := pc.lookup(site, kindProbe, now, start, end); ok {
+		return e.probe, true, nil
+	}
+	key := flightKey{site: site, kind: kindProbe, now: now, start: start, end: end}
+	fl, leader := pc.join(key)
+	if !leader {
+		<-fl.done
+		return fl.probe, true, fl.err
+	}
+	r, err = c.Probe(now, start, end)
+	if err == nil {
+		if dropped := pc.observe(site, r.Epoch); dropped > 0 {
+			b.event(obs.EventCacheInvalidate,
+				slog.String("site", site),
+				slog.String("cause", "epoch"),
+				slog.Int("entries", dropped))
+		}
+		pc.store(site, kindProbe, start, end, r.Epoch, r.SiteNow, r, nil)
+	}
+	fl.probe, fl.err = r, err
+	pc.finish(key, fl)
+	return r, false, err
+}
+
+// cachedRange is cachedProbe's twin for the per-site range search.
+func (b *Broker) cachedRange(c RangeConn, now, start, end period.Time) (feasible []period.Period, shared bool, err error) {
+	pc := b.cache
+	if pc == nil {
+		rr, err := c.RangeView(now, start, end)
+		return rr.Feasible, false, err
+	}
+	site := c.Name()
+	if e, ok := pc.lookup(site, kindRange, now, start, end); ok {
+		// Copy out: the cached slice is shared by every future hit.
+		return append([]period.Period(nil), e.feasible...), true, nil
+	}
+	key := flightKey{site: site, kind: kindRange, now: now, start: start, end: end}
+	fl, leader := pc.join(key)
+	if !leader {
+		<-fl.done
+		return append([]period.Period(nil), fl.feasible...), true, fl.err
+	}
+	rr, err := c.RangeView(now, start, end)
+	if err == nil {
+		if dropped := pc.observe(site, rr.Epoch); dropped > 0 {
+			b.event(obs.EventCacheInvalidate,
+				slog.String("site", site),
+				slog.String("cause", "epoch"),
+				slog.Int("entries", dropped))
+		}
+		pc.store(site, kindRange, start, end, rr.Epoch, rr.SiteNow, ProbeResult{}, rr.Feasible)
+	}
+	fl.feasible, fl.err = rr.Feasible, err
+	pc.finish(key, fl)
+	return rr.Feasible, false, err
+}
+
+// invalidateSiteCache drops a site's cached availability around the
+// broker's own 2PC traffic. Unconditional on purpose: prepare and abort
+// always mutate the site on success, and even a failed or timed-out
+// prepare may have landed there — the next probe refetches and re-learns
+// the site's epoch either way.
+func (b *Broker) invalidateSiteCache(c Conn) {
+	if b.cache == nil {
+		return
+	}
+	if b.cache.invalidate(c.Name()) {
+		b.event(obs.EventCacheInvalidate,
+			slog.String("site", c.Name()),
+			slog.String("cause", "2pc"))
+	}
+}
+
+// CacheStats returns the availability cache's counters; all zeros when the
+// cache is disabled.
+func (b *Broker) CacheStats() CacheStats {
+	if b.cache == nil {
+		return CacheStats{}
+	}
+	return b.cache.statsSnapshot()
 }
 
 // tryWindow runs one probe/prepare/commit round for a fixed window.
@@ -585,6 +752,11 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	prepared := make([]Conn, 0, len(shares))
 	for _, sh := range shares {
 		servers, err := sh.Conn.Prepare(now, holdID, start, end, sh.Servers, b.cfg.Lease)
+		// Prepare is a mutation whether it succeeded or not (a timed-out one
+		// may have landed), so the site's cached availability is void either
+		// way — and a prepare answered under a stale idea of the site's
+		// state is exactly what the epoch protocol exists to flush.
+		b.invalidateSiteCache(sh.Conn)
 		if err != nil {
 			b.siteFailed(sh.Conn, err)
 			// A timed-out prepare is ambiguous: the request may have reached
@@ -600,6 +772,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			// Phase 1 failed: abort everything prepared so far.
 			for _, p := range aborts {
 				_ = p.Abort(now, holdID) // best effort; leases back us up
+				b.invalidateSiteCache(p)
 				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
 			}
 			b.mu.Lock()
@@ -647,6 +820,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			}
 			b.siteFailed(c, err)
 		}
+		b.invalidateSiteCache(c)
 		if err != nil {
 			failed = append(failed, c.Name())
 			commitErr = err
@@ -669,6 +843,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 				aborted = append(aborted, c.Name())
 				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", c.Name()))
 			}
+			b.invalidateSiteCache(c)
 		}
 		b.mu.Lock()
 		b.stats.Aborts += uint64(len(aborted))
@@ -676,7 +851,7 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 		if b.m != nil {
 			b.m.aborts.Add(uint64(len(aborted)))
 		}
-		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Aborted: aborted, Failed: failed, Err: commitErr}
+		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Aborted: aborted, Failed: failed, Shares: granted, Err: commitErr}
 	}
 	return MultiAllocation{
 		HoldID:   holdID,
@@ -691,4 +866,86 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 // range search (§4.2) exposed to users for their own post-processing.
 func (b *Broker) ProbeAll(now, start, end period.Time) []Avail {
 	return b.probeSites(now, start, end)
+}
+
+// SiteRange is one site's answer in a cross-site range search: the idle
+// periods feasible for the window, or the error that kept the site from
+// answering (including ErrCircuitOpen and "range search unsupported" for
+// connections that only implement Conn).
+type SiteRange struct {
+	Conn     Conn
+	Feasible []period.Period
+	Err      error
+}
+
+// RangeAll fans the user-facing AR range search (§4.2) out over every site,
+// returning each site's feasible idle periods for [start, end). Answers
+// flow through the availability cache under the same epoch rules as probes,
+// so a user iterating candidate windows against an unchanged federation
+// pays one RPC per site per distinct window, not per call.
+func (b *Broker) RangeAll(now, start, end period.Time) []SiteRange {
+	out := make([]SiteRange, len(b.sites))
+	b.fanOut(func(i int) {
+		c := b.sites[i]
+		rc, ok := c.(RangeConn)
+		if !ok {
+			out[i] = SiteRange{Conn: c, Err: fmt.Errorf("grid: site %s does not support range search", c.Name())}
+			return
+		}
+		if err := b.breakerOpenFor(c); err != nil {
+			out[i] = SiteRange{Conn: c, Err: err}
+			return
+		}
+		feasible, shared, err := b.cachedRange(rc, now, start, end)
+		if err != nil {
+			out[i] = SiteRange{Conn: c, Err: err}
+			if b.m != nil {
+				b.m.unreachable.Inc()
+			}
+			if !shared {
+				b.siteFailed(c, err)
+			}
+			return
+		}
+		out[i] = SiteRange{Conn: c, Feasible: feasible}
+		if !shared {
+			b.siteOK(c)
+		}
+	})
+	return out
+}
+
+// Release aborts every share of a previously committed co-allocation — the
+// cross-site face of the paper's early-release extension. Each site
+// truncates its share at now (cancelling it outright when the window has
+// not started), and the freed capacity becomes probeable immediately: the
+// aborts invalidate the sites' cached availability like any other 2PC
+// traffic. Releasing an allocation whose window already closed is a no-op
+// per site (presumed abort). The first site error is returned, but every
+// site is attempted regardless.
+func (b *Broker) Release(now period.Time, alloc MultiAllocation) error {
+	byName := make(map[string]Conn, len(b.sites))
+	for _, c := range b.sites {
+		byName[c.Name()] = c
+	}
+	var firstErr error
+	for _, sh := range alloc.Shares {
+		c, ok := byName[sh.Site]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("grid: release of %s: unknown site %q", alloc.HoldID, sh.Site)
+			}
+			continue
+		}
+		err := c.Abort(now, alloc.HoldID)
+		b.invalidateSiteCache(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("grid: release of %s at %s: %w", alloc.HoldID, sh.Site, err)
+			}
+			continue
+		}
+		b.event(obs.EventAbort, slog.String("hold", alloc.HoldID), slog.String("site", sh.Site), slog.Bool("release", true))
+	}
+	return firstErr
 }

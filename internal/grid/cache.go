@@ -1,0 +1,270 @@
+package grid
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"coalloc/internal/period"
+)
+
+// probeCache is the broker-side availability cache. It remembers probe and
+// range-search answers per site, keyed by (slot bucket, duration bucket),
+// each tagged with the site epoch it was computed under, and serves repeat
+// probes without a round trip for as long as that epoch stands:
+//
+//   - Validity. An entry answers a request iff it was computed for exactly
+//     the requested window, the site has not reported a newer epoch, and the
+//     request's now does not exceed the site clock the answer was computed
+//     at (a clock-moving probe may expire leases — a mutation — so it must
+//     reach the site, mirroring the site's own lock-free read gating).
+//   - Invalidation. Epochs are compared on every fresh reply; a moved epoch
+//     drops every entry of that site at once (the epoch is site-global).
+//     The broker also drops a site's entries eagerly around its own 2PC
+//     traffic — prepare/commit/abort mutate the site, and even a failed or
+//     timed-out prepare may have landed.
+//   - Coalescing. Concurrent identical misses share one flight: the first
+//     caller performs the RPC, the rest block on it and reuse the reply, so
+//     N simultaneous probes of an idle federation cost one round trip.
+//
+// Entries whose reply carries epoch zero — a site predating the epoch field
+// — are never stored: with no invalidation signal a cached answer could
+// outlive the state it describes.
+//
+// The cache assumes this broker is the site's dominant writer. A mutation
+// issued by another broker becomes visible here only at the next actual
+// round trip (any miss, including every clock-advancing probe), exactly the
+// staleness window the paper's periodic-probe brokers already live with.
+type probeCache struct {
+	bucket  int64 // window quantization, in seconds (τ by default)
+	maxPer  int   // per-site entry bound
+	metrics *brokerMetrics
+
+	mu      sync.Mutex
+	sites   map[string]*siteCache
+	flights map[flightKey]*flight
+
+	hits, misses, stale, coalesced, invalidations, evictions atomic.Uint64
+}
+
+// siteCache holds one site's entries, all computed under the same epoch.
+type siteCache struct {
+	epoch   uint64
+	entries map[entryKey]*cacheEntry
+}
+
+// Cache-entry kinds: probe answers and range-search answers live side by
+// side under the same keying and invalidation rules.
+const (
+	kindProbe = uint8(iota)
+	kindRange
+)
+
+// entryKey buckets windows by start slot and duration so the retry ladder's
+// neighbors and same-length requests map onto a compact key space. Distinct
+// windows may share a key; the entry stores the exact window and a lookup
+// requires an exact match, so a collision costs a miss, never a wrong
+// answer.
+type entryKey struct {
+	slotBucket int64
+	durBucket  int64
+	kind       uint8
+}
+
+// cacheEntry is one cached answer: the exact window it answers, the site
+// clock it is valid through, and the payload for its kind.
+type cacheEntry struct {
+	start, end period.Time
+	siteNow    period.Time
+	probe      ProbeResult
+	feasible   []period.Period // kindRange only; treated as immutable
+}
+
+// flightKey identifies one coalescable in-flight request.
+type flightKey struct {
+	site       string
+	kind       uint8
+	now        period.Time
+	start, end period.Time
+}
+
+// flight is one in-flight RPC shared by concurrent identical requests. The
+// leader fills the result fields before closing done; the channel close is
+// the happens-before edge the followers read across.
+type flight struct {
+	done     chan struct{}
+	probe    ProbeResult
+	feasible []period.Period
+	err      error
+}
+
+func newProbeCache(bucket period.Duration, maxPer int, m *brokerMetrics) *probeCache {
+	return &probeCache{
+		bucket:  int64(bucket),
+		maxPer:  maxPer,
+		metrics: m,
+		sites:   make(map[string]*siteCache),
+		flights: make(map[flightKey]*flight),
+	}
+}
+
+func (pc *probeCache) key(start, end period.Time, kind uint8) entryKey {
+	return entryKey{
+		slotBucket: int64(start) / pc.bucket,
+		durBucket:  int64(end-start) / pc.bucket,
+		kind:       kind,
+	}
+}
+
+// lookup returns the cached answer for the exact window, if one is valid
+// for a request issued at now. It accounts the hit or miss.
+func (pc *probeCache) lookup(site string, kind uint8, now, start, end period.Time) (*cacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	sc := pc.sites[site]
+	if sc != nil {
+		if e := sc.entries[pc.key(start, end, kind)]; e != nil &&
+			e.start == start && e.end == end && now <= e.siteNow {
+			pc.hits.Add(1)
+			if pc.metrics != nil {
+				pc.metrics.cacheHits.Inc()
+			}
+			return e, true
+		}
+	}
+	pc.misses.Add(1)
+	if pc.metrics != nil {
+		pc.metrics.cacheMisses.Inc()
+	}
+	return nil, false
+}
+
+// observe folds a fresh reply's epoch into the site's cache state. If the
+// epoch moved, every entry of the site is dropped (the epoch is site-global:
+// one mutation retires all of them). It returns how many entries were
+// dropped so the caller can emit a trace event.
+func (pc *probeCache) observe(site string, epoch uint64) int {
+	if epoch == 0 {
+		return 0 // epoch-less site: nothing was cached, nothing to retire
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	sc := pc.sites[site]
+	if sc == nil {
+		sc = &siteCache{epoch: epoch, entries: make(map[entryKey]*cacheEntry)}
+		pc.sites[site] = sc
+		return 0
+	}
+	if sc.epoch == epoch {
+		return 0
+	}
+	dropped := len(sc.entries)
+	sc.epoch = epoch
+	if dropped > 0 {
+		sc.entries = make(map[entryKey]*cacheEntry)
+		pc.stale.Add(uint64(dropped))
+		if pc.metrics != nil {
+			pc.metrics.cacheStale.Add(uint64(dropped))
+		}
+	}
+	return dropped
+}
+
+// store caches a fresh answer. The caller must have called observe with the
+// reply's epoch first; a reply from an older epoch than the site's current
+// one (a race between two flights) is discarded rather than stored.
+func (pc *probeCache) store(site string, kind uint8, start, end period.Time, epoch uint64, siteNow period.Time, probe ProbeResult, feasible []period.Period) {
+	if epoch == 0 {
+		return // pre-epoch site: no invalidation signal, never cache
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	sc := pc.sites[site]
+	if sc == nil || sc.epoch != epoch {
+		return
+	}
+	k := pc.key(start, end, kind)
+	if _, exists := sc.entries[k]; !exists && pc.maxPer > 0 && len(sc.entries) >= pc.maxPer {
+		for victim := range sc.entries { // arbitrary single eviction
+			delete(sc.entries, victim)
+			break
+		}
+		pc.evictions.Add(1)
+		if pc.metrics != nil {
+			pc.metrics.cacheEvictions.Inc()
+		}
+	}
+	sc.entries[k] = &cacheEntry{start: start, end: end, siteNow: siteNow, probe: probe, feasible: feasible}
+}
+
+// invalidate drops every entry of one site — the broker just sent it 2PC
+// traffic. It reports whether anything was dropped.
+func (pc *probeCache) invalidate(site string) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	sc := pc.sites[site]
+	if sc == nil || len(sc.entries) == 0 {
+		return false
+	}
+	sc.entries = make(map[entryKey]*cacheEntry)
+	pc.invalidations.Add(1)
+	if pc.metrics != nil {
+		pc.metrics.cacheInvalidations.Inc()
+	}
+	return true
+}
+
+// join enters the single-flight group for key. The first caller becomes the
+// leader (leader == true) and must call finish exactly once; later callers
+// get the existing flight and block on its done channel.
+func (pc *probeCache) join(key flightKey) (*flight, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if fl := pc.flights[key]; fl != nil {
+		pc.coalesced.Add(1)
+		if pc.metrics != nil {
+			pc.metrics.cacheCoalesced.Inc()
+		}
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	pc.flights[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's result to the flight's followers and
+// retires the flight.
+func (pc *probeCache) finish(key flightKey, fl *flight) {
+	pc.mu.Lock()
+	delete(pc.flights, key)
+	pc.mu.Unlock()
+	close(fl.done)
+}
+
+// CacheStats is a snapshot of the broker's availability-cache counters.
+// All zeros when the cache is disabled.
+type CacheStats struct {
+	Hits          uint64 // probes answered without a round trip
+	Misses        uint64 // probes that went to the site
+	Stale         uint64 // entries retired because the site reported a new epoch
+	Coalesced     uint64 // probes that piggybacked on another caller's flight
+	Invalidations uint64 // site-wide drops triggered by this broker's own 2PC traffic
+	Evictions     uint64 // entries displaced by the per-site capacity bound
+	Entries       int    // entries currently cached across all sites
+}
+
+func (pc *probeCache) statsSnapshot() CacheStats {
+	s := CacheStats{
+		Hits:          pc.hits.Load(),
+		Misses:        pc.misses.Load(),
+		Stale:         pc.stale.Load(),
+		Coalesced:     pc.coalesced.Load(),
+		Invalidations: pc.invalidations.Load(),
+		Evictions:     pc.evictions.Load(),
+	}
+	pc.mu.Lock()
+	for _, sc := range pc.sites {
+		s.Entries += len(sc.entries)
+	}
+	pc.mu.Unlock()
+	return s
+}

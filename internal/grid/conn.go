@@ -9,6 +9,20 @@ import "coalloc/internal/period"
 type ProbeResult struct {
 	Available int
 	Capacity  int
+	// Epoch is the site's availability epoch the answer was computed at;
+	// zero means the site (an old server binary) does not report epochs and
+	// the answer must not be cached. See Site.ProbeView.
+	Epoch uint64
+	// SiteNow is the site clock the answer is valid through: a later probe
+	// with now <= SiteNow and an unchanged Epoch would get the same answer.
+	SiteNow period.Time
+}
+
+// RangeResult is the epoch-tagged result of a per-site range search.
+type RangeResult struct {
+	Feasible []period.Period
+	Epoch    uint64 // zero: not cacheable (see ProbeResult.Epoch)
+	SiteNow  period.Time
 }
 
 // Conn is the broker's view of one site. Implementations include the
@@ -31,6 +45,16 @@ type Conn interface {
 	Abort(now period.Time, holdID string) error
 }
 
+// RangeConn is the optional Conn extension for sites that answer the
+// user-facing range search of §4.2. Broker.RangeAll uses it where available;
+// connections without it report availability only through Probe.
+type RangeConn interface {
+	Conn
+	// RangeView lists the idle periods feasible for the window, tagged with
+	// the epoch metadata a caching broker needs.
+	RangeView(now, start, end period.Time) (RangeResult, error)
+}
+
 // LocalConn adapts an in-process *Site to the Conn interface.
 type LocalConn struct {
 	Site *Site
@@ -44,9 +68,12 @@ func (l LocalConn) Servers() (int, error) { return l.Site.Servers(), nil }
 
 // Probe implements Conn.
 func (l LocalConn) Probe(now, start, end period.Time) (ProbeResult, error) {
+	n, epoch, siteNow := l.Site.ProbeView(now, start, end)
 	return ProbeResult{
-		Available: l.Site.Probe(now, start, end),
+		Available: n,
 		Capacity:  l.Site.Servers(),
+		Epoch:     epoch,
+		SiteNow:   siteNow,
 	}, nil
 }
 
@@ -54,6 +81,12 @@ func (l LocalConn) Probe(now, start, end period.Time) (ProbeResult, error) {
 // site — the per-site leg of the user-facing range search.
 func (l LocalConn) RangeSearch(now, start, end period.Time) ([]period.Period, error) {
 	return l.Site.RangeSearch(now, start, end), nil
+}
+
+// RangeView implements RangeConn.
+func (l LocalConn) RangeView(now, start, end period.Time) (RangeResult, error) {
+	feasible, epoch, siteNow := l.Site.RangeSearchView(now, start, end)
+	return RangeResult{Feasible: feasible, Epoch: epoch, SiteNow: siteNow}, nil
 }
 
 // Prepare implements Conn.

@@ -3,132 +3,12 @@ package grid
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 
-	"coalloc/internal/period"
 	"coalloc/internal/wal"
 )
-
-// recordingWAL wraps a *wal.Log and remembers every payload the log
-// acknowledged, plus the one in-flight payload whose append failed — a
-// failed append may still have reached the disk in full (the crash can land
-// between the write and the acknowledgment), so recovery legitimately
-// surfaces either prefix.
-type recordingWAL struct {
-	log     *wal.Log
-	acked   [][]byte
-	pending []byte
-}
-
-func (r *recordingWAL) Append(p []byte) (uint64, error) {
-	cp := append([]byte(nil), p...)
-	lsn, err := r.log.Append(p)
-	if err != nil {
-		if r.pending == nil {
-			r.pending = cp
-		}
-		return lsn, err
-	}
-	r.acked = append(r.acked, cp)
-	return lsn, nil
-}
-
-func (r *recordingWAL) Checkpoint(snapshot []byte) error { return r.log.Checkpoint(snapshot) }
-
-const crashSiteServers = 8
-
-func freshCrashSite() (*Site, error) {
-	return NewSite("crash", siteConfig(crashSiteServers), 0)
-}
-
-func snapshotBytes(t *testing.T, s *Site) []byte {
-	t.Helper()
-	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
-		t.Fatalf("snapshot: %v", err)
-	}
-	return buf.Bytes()
-}
-
-// buildShadow replays the given journal payloads onto a fresh site — the
-// oracle a recovered site must match byte for byte.
-func buildShadow(t *testing.T, payloads [][]byte) *Site {
-	t.Helper()
-	s, err := freshCrashSite()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, p := range payloads {
-		op, err := DecodeOp(p)
-		if err != nil {
-			t.Fatalf("shadow: decode record %d: %v", i+1, err)
-		}
-		if err := s.ReplayOp(op); err != nil {
-			t.Fatalf("shadow: replay record %d (%s %q): %v", i+1, op.Kind, op.HoldID, err)
-		}
-	}
-	return s
-}
-
-// runCrashWorkload drives a deterministic randomized mix of prepares,
-// commits, aborts, probes (which expire stale leases), and checkpoints
-// against the site until steps run out or the injector trips. The clock is
-// monotone and checkpoints are cut only in the same step as a successful
-// journaled mutation, so a checkpoint never captures clock movement that no
-// record describes.
-func runCrashWorkload(site *Site, rw *recordingWAL, inj *wal.Injector, seed int64, steps int) {
-	rng := rand.New(rand.NewSource(seed))
-	now := period.Time(0)
-	var issued []string
-	for i := 0; i < steps; i++ {
-		now = now.Add(period.Duration(rng.Int63n(600)))
-		ackedBefore := len(rw.acked)
-		switch op := rng.Intn(10); {
-		case op < 4: // prepare
-			id := fmt.Sprintf("h%04d", len(issued))
-			issued = append(issued, id)
-			start := now.Add(period.Duration(rng.Int63n(7200)))
-			dur := period.Duration(1+rng.Int63n(4)) * 15 * period.Minute
-			servers := 1 + rng.Intn(4)
-			lease := period.Duration(600 + rng.Int63n(1800))
-			site.Prepare(now, id, start, start.Add(dur), servers, lease)
-		case op < 6: // commit some previously issued hold (may be gone)
-			if len(issued) > 0 {
-				site.Commit(now, issued[rng.Intn(len(issued))])
-			}
-		case op < 8: // abort some previously issued hold (no-op if gone)
-			if len(issued) > 0 {
-				site.Abort(now, issued[rng.Intn(len(issued))])
-			}
-		default: // probe: advances the clock, expiring stale leases
-			site.Probe(now, now, now.Add(30*period.Minute))
-		}
-		if inj != nil && inj.Tripped() {
-			return
-		}
-		if len(rw.acked) > ackedBefore && rng.Intn(8) == 0 {
-			site.Checkpoint()
-			if inj != nil && inj.Tripped() {
-				return
-			}
-		}
-	}
-	// End on a journaled mutation. Probes and refused ops move the clock and
-	// scheduler counters without writing records; replay heals that transient
-	// drift only when a later record restamps them, so the final states the
-	// tests compare must sit on a record boundary. The window is past every
-	// hold the loop could have placed, so this prepare always succeeds.
-	if inj != nil && inj.Tripped() {
-		return
-	}
-	now = now.Add(1)
-	start := now.Add(4 * period.Hour)
-	site.Prepare(now, "hfinal", start, start.Add(15*period.Minute), 1, 600)
-}
 
 // crashRun executes the seeded workload against a WAL whose writes die after
 // `budget` bytes, then recovers from the directory and returns the recovered
@@ -275,15 +155,6 @@ func TestCheckpointWithoutWAL(t *testing.T) {
 	}
 }
 
-// failingWAL rejects every append, simulating a dead disk.
-type failingWAL struct{ calls int }
-
-func (f *failingWAL) Append([]byte) (uint64, error) {
-	f.calls++
-	return 0, errors.New("disk on fire")
-}
-func (f *failingWAL) Checkpoint([]byte) error { return errors.New("disk on fire") }
-
 func TestJournalFailurePoisonsSite(t *testing.T) {
 	s := mustSite(t, "poison", 4)
 	fw := &failingWAL{}
@@ -327,13 +198,4 @@ func TestRecoverSiteEmptyIsCleanBoot(t *testing.T) {
 	if !bytes.Equal(snapshotBytes(t, s), snapshotBytes(t, mustFresh(t))) {
 		t.Fatal("empty recovery differs from a fresh site")
 	}
-}
-
-func mustFresh(t *testing.T) *Site {
-	t.Helper()
-	s, err := freshCrashSite()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
 }

@@ -2,93 +2,11 @@ package grid
 
 import (
 	"errors"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"coalloc/internal/period"
 )
-
-// fakeTimeout is an injected error that classifies as a deadline expiry,
-// like the ones internal/wire produces for timed-out RPCs.
-type fakeTimeout struct{}
-
-func (fakeTimeout) Error() string   { return "injected timeout" }
-func (fakeTimeout) Timeout() bool   { return true }
-func (fakeTimeout) Temporary() bool { return true }
-
-// chaosConn wraps a Conn with programmable per-phase faults and call
-// counters. All knobs are atomics so concurrent probe workers can race it
-// safely.
-type chaosConn struct {
-	Conn
-	probeCalls   atomic.Int64
-	prepareCalls atomic.Int64
-	commitCalls  atomic.Int64
-
-	failProbes    atomic.Int64 // fail this many probes, then pass
-	failPrepares  atomic.Int64 // fail this many prepares, then pass
-	failCommits   atomic.Int64 // fail this many commits, then pass
-	timeoutErrors atomic.Bool  // injected failures classify as timeouts
-	prepareLands  atomic.Bool  // a failed prepare still reaches the site
-}
-
-func (c *chaosConn) inject() error {
-	if c.timeoutErrors.Load() {
-		return fakeTimeout{}
-	}
-	return errors.New("injected fault")
-}
-
-func (c *chaosConn) Probe(now, start, end period.Time) (ProbeResult, error) {
-	c.probeCalls.Add(1)
-	if c.failProbes.Load() > 0 {
-		c.failProbes.Add(-1)
-		return ProbeResult{}, c.inject()
-	}
-	return c.Conn.Probe(now, start, end)
-}
-
-func (c *chaosConn) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
-	c.prepareCalls.Add(1)
-	if c.failPrepares.Load() > 0 {
-		c.failPrepares.Add(-1)
-		if c.prepareLands.Load() {
-			// The request reached the site; only the reply was lost.
-			_, _ = c.Conn.Prepare(now, holdID, start, end, servers, lease)
-		}
-		return nil, c.inject()
-	}
-	return c.Conn.Prepare(now, holdID, start, end, servers, lease)
-}
-
-func (c *chaosConn) Commit(now period.Time, holdID string) error {
-	c.commitCalls.Add(1)
-	if c.failCommits.Load() > 0 {
-		c.failCommits.Add(-1)
-		return c.inject()
-	}
-	return c.Conn.Commit(now, holdID)
-}
-
-// testClock is an injectable, mutable broker clock.
-type testClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-func (c *testClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-
-func (c *testClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
-}
 
 // TestRestartedBrokerHoldIDsDoNotCollide pins the hold-ID restart fix: a
 // broker restart resets its in-memory counter, and sites remember committed

@@ -6,39 +6,8 @@ import (
 	"sync"
 	"testing"
 
-	"coalloc/internal/core"
 	"coalloc/internal/period"
 )
-
-func siteConfig(n int) core.Config {
-	return core.Config{
-		Servers:  n,
-		SlotSize: 15 * period.Minute,
-		Slots:    96,
-	}
-}
-
-func mustSite(t *testing.T, name string, n int) *Site {
-	t.Helper()
-	s, err := NewSite(name, siteConfig(n), 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
-func mustBroker(t *testing.T, cfg BrokerConfig, sites ...*Site) *Broker {
-	t.Helper()
-	conns := make([]Conn, len(sites))
-	for i, s := range sites {
-		conns[i] = LocalConn{Site: s}
-	}
-	b, err := NewBroker(cfg, conns...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return b
-}
 
 func TestSitePrepareCommit(t *testing.T) {
 	s := mustSite(t, "alpha", 4)
@@ -193,35 +162,6 @@ func TestBrokerRejectsWhenImpossible(t *testing.T) {
 	if st := b.Stats(); st.Rejected != 1 {
 		t.Fatalf("stats %+v", st)
 	}
-}
-
-// failingConn injects phase-specific failures.
-type failingConn struct {
-	Conn
-	failPrepare bool
-	failCommit  bool
-	failProbe   bool
-}
-
-func (f *failingConn) Probe(now, start, end period.Time) (ProbeResult, error) {
-	if f.failProbe {
-		return ProbeResult{}, errors.New("injected probe failure")
-	}
-	return f.Conn.Probe(now, start, end)
-}
-
-func (f *failingConn) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
-	if f.failPrepare {
-		return nil, errors.New("injected prepare failure")
-	}
-	return f.Conn.Prepare(now, holdID, start, end, servers, lease)
-}
-
-func (f *failingConn) Commit(now period.Time, holdID string) error {
-	if f.failCommit {
-		return errors.New("injected commit failure")
-	}
-	return f.Conn.Commit(now, holdID)
 }
 
 func TestBrokerAbortsOnPrepareFailure(t *testing.T) {
@@ -428,14 +368,6 @@ func TestStrategies(t *testing.T) {
 			t.Error("bogus strategy accepted")
 		}
 	})
-}
-
-func mustSiteQuiet(name string, n int) *Site {
-	s, err := NewSite(name, siteConfig(n), 0)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }
 
 func TestBrokerValidation(t *testing.T) {

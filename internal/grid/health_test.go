@@ -1,0 +1,160 @@
+package grid
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker state machine is driven through scripted event sequences: each
+// step is one allow/success/failure call at an explicit instant, with the
+// exact outcome and resulting state asserted. Jitter is the identity so
+// every cooldown lands where the script says.
+
+type healthStep struct {
+	op        string // "allow", "success", "failure"
+	at        time.Duration
+	threshold int
+	wantAllow bool // op == "allow"
+	wantFlip  bool // "failure": opened; "success": recovered
+	wantState string
+	wantFails int
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	const (
+		base = time.Second
+		max  = 4 * time.Second
+	)
+	ident := func(d time.Duration) time.Duration { return d }
+	t0 := time.Unix(1000, 0)
+
+	cases := []struct {
+		name  string
+		steps []healthStep
+	}{
+		{
+			name: "threshold opens and cooldown readmits one trial",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 2, wantFlip: false, wantState: "closed", wantFails: 1},
+				{op: "allow", at: 0, wantAllow: true, wantState: "closed", wantFails: 1},
+				{op: "failure", at: 0, threshold: 2, wantFlip: true, wantState: "open"},
+				{op: "allow", at: base - time.Millisecond, wantAllow: false, wantState: "open"},
+				// Cooldown elapsed: the first caller is the half-open trial…
+				{op: "allow", at: base, wantAllow: true, wantState: "half-open"},
+				// …and every other caller keeps failing fast while it runs.
+				{op: "allow", at: base, wantAllow: false, wantState: "half-open"},
+				{op: "success", at: base, wantFlip: true, wantState: "closed", wantFails: 0},
+				{op: "allow", at: base, wantAllow: true, wantState: "closed"},
+			},
+		},
+		{
+			name: "half-open failure doubles the cooldown",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: base, wantAllow: true, wantState: "half-open"},
+				// Failed trial: reopen for 2*base.
+				{op: "failure", at: base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 2 * base, wantAllow: false, wantState: "open"},
+				{op: "allow", at: 3 * base, wantAllow: true, wantState: "half-open"},
+				// Another failed trial: 4*base.
+				{op: "failure", at: 3 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 6 * base, wantAllow: false, wantState: "open"},
+				{op: "allow", at: 7 * base, wantAllow: true, wantState: "half-open"},
+			},
+		},
+		{
+			name: "cooldown doubling caps at max",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 1, wantFlip: true, wantState: "open"},
+				// Three failed trials: cooldown walks 1s → 2s → 4s and then
+				// caps at max (4s) instead of reaching 8s.
+				{op: "allow", at: 1 * base, wantAllow: true, wantState: "half-open"},
+				{op: "failure", at: 1 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 3 * base, wantAllow: true, wantState: "half-open"},
+				{op: "failure", at: 3 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 7 * base, wantAllow: true, wantState: "half-open"},
+				{op: "failure", at: 7 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				// Capped: open for 4s, not 8s.
+				{op: "allow", at: 10 * base, wantAllow: false, wantState: "open"},
+				{op: "allow", at: 11 * base, wantAllow: true, wantState: "half-open"},
+			},
+		},
+		{
+			name: "trial success after cap resets the ladder to base",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 1 * base, wantAllow: true, wantState: "half-open"},
+				{op: "failure", at: 1 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 3 * base, wantAllow: true, wantState: "half-open"},
+				{op: "failure", at: 3 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 7 * base, wantAllow: true, wantState: "half-open"},
+				{op: "success", at: 7 * base, wantFlip: true, wantState: "closed", wantFails: 0},
+				// The ladder restarts: the next open lasts base, not the
+				// capped cooldown the machine had reached.
+				{op: "failure", at: 8 * base, threshold: 1, wantFlip: true, wantState: "open"},
+				{op: "allow", at: 8*base + base/2, wantAllow: false, wantState: "open"},
+				{op: "allow", at: 9 * base, wantAllow: true, wantState: "half-open"},
+			},
+		},
+		{
+			name: "negative threshold disables the breaker",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: -1, wantFlip: false, wantState: "closed", wantFails: 0},
+				{op: "failure", at: 0, threshold: -1, wantFlip: false, wantState: "closed", wantFails: 0},
+				{op: "failure", at: 0, threshold: -1, wantFlip: false, wantState: "closed", wantFails: 0},
+				{op: "allow", at: 0, wantAllow: true, wantState: "closed", wantFails: 0},
+			},
+		},
+		{
+			name: "zero threshold disables too",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 0, wantFlip: false, wantState: "closed", wantFails: 0},
+				{op: "allow", at: 0, wantAllow: true, wantState: "closed"},
+			},
+		},
+		{
+			name: "success under threshold resets the failure count",
+			steps: []healthStep{
+				{op: "failure", at: 0, threshold: 3, wantFlip: false, wantState: "closed", wantFails: 1},
+				{op: "failure", at: 0, threshold: 3, wantFlip: false, wantState: "closed", wantFails: 2},
+				// Not a recovery: the circuit never opened.
+				{op: "success", at: 0, wantFlip: false, wantState: "closed", wantFails: 0},
+				{op: "failure", at: 0, threshold: 3, wantFlip: false, wantState: "closed", wantFails: 1},
+				{op: "failure", at: 0, threshold: 3, wantFlip: false, wantState: "closed", wantFails: 2},
+				{op: "failure", at: 0, threshold: 3, wantFlip: true, wantState: "open"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &siteHealth{}
+			for i, st := range tc.steps {
+				now := t0.Add(st.at)
+				switch st.op {
+				case "allow":
+					if got := h.allow(now); got != st.wantAllow {
+						t.Fatalf("step %d: allow(+%v) = %v, want %v", i, st.at, got, st.wantAllow)
+					}
+				case "success":
+					if got := h.success(); got != st.wantFlip {
+						t.Fatalf("step %d: success() recovered = %v, want %v", i, got, st.wantFlip)
+					}
+				case "failure":
+					if got := h.failure(now, st.threshold, base, max, ident); got != st.wantFlip {
+						t.Fatalf("step %d: failure(+%v) opened = %v, want %v", i, st.at, got, st.wantFlip)
+					}
+				default:
+					t.Fatalf("step %d: unknown op %q", i, st.op)
+				}
+				state, fails := h.snapshot()
+				if got := breakerStateName(state); got != st.wantState {
+					t.Fatalf("step %d (%s at +%v): state = %q, want %q", i, st.op, st.at, got, st.wantState)
+				}
+				if st.wantState == "closed" && fails != st.wantFails {
+					t.Fatalf("step %d (%s at +%v): fails = %d, want %d", i, st.op, st.at, fails, st.wantFails)
+				}
+			}
+		})
+	}
+}

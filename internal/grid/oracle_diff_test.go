@@ -1,0 +1,305 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"coalloc/internal/oracle"
+	"coalloc/internal/period"
+)
+
+// The differential suite drives a cache-enabled broker federation and a
+// brute-force oracle per site through the same randomized request stream —
+// co-allocations, early releases, injected commit failures, lease expiries,
+// clock advances — and asserts after every step that three independent
+// answer paths agree on the feasible-server set of a random window:
+//
+//	site.RangeSearch       the dtree two-phase search, lock-free view
+//	broker.ProbeAll        the same answer through the epoch-keyed cache
+//	oracle.Feasible        a linear scan over per-server reservation lists
+//
+// The broker's cache is exercised hard on purpose: windows are drawn from a
+// small quantized pool so repeat probes hit, and every 2PC round drives the
+// invalidation path. Any stale cache entry, missed invalidation, or epoch
+// bug surfaces as a disagreement with the oracle.
+
+// diffMirror tracks what the test believes each site's state is, expressed
+// as oracle operations.
+type diffMirror struct {
+	orcs map[string]*oracle.Oracle
+	// holds are phase-1 grants stranded by a failed commit: the site leases
+	// them until expiry, so the mirror must too.
+	holds []diffHold
+}
+
+type diffHold struct {
+	site       string
+	servers    []int
+	start, end period.Time
+	expires    period.Time
+}
+
+// expire releases every stranded hold whose lease has passed, mirroring the
+// site's advanceLocked: the reservation is cancelled outright (released at
+// its start).
+func (m *diffMirror) expire(t *testing.T, now period.Time) {
+	t.Helper()
+	kept := m.holds[:0]
+	for _, h := range m.holds {
+		if h.expires <= now {
+			if err := m.orcs[h.site].Release(h.servers, h.start, h.end, h.start); err != nil {
+				t.Fatalf("mirror: expire hold on %s [%d,%d): %v", h.site, h.start, h.end, err)
+			}
+			continue
+		}
+		kept = append(kept, h)
+	}
+	m.holds = kept
+}
+
+func diffFeasibleSet(ps []period.Period) map[int]bool {
+	set := make(map[int]bool, len(ps))
+	for _, p := range ps {
+		set[p.Server] = true
+	}
+	return set
+}
+
+func diffSetsEqual(got map[int]bool, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, s := range want {
+		if !got[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialOracleCachedBroker(t *testing.T) {
+	const (
+		nSites  = 3
+		servers = 8
+		slot    = int64(15 * period.Minute)
+	)
+	steps := 10000
+	if testing.Short() {
+		steps = 2000
+	}
+	rng := rand.New(rand.NewSource(20260806))
+
+	sites := make([]*Site, nSites)
+	conns := make([]Conn, nSites)
+	mirror := &diffMirror{orcs: make(map[string]*oracle.Oracle, nSites)}
+	var flaky *chaosConn
+	for i := range sites {
+		name := fmt.Sprintf("s%d", i)
+		sites[i] = mustSite(t, name, servers)
+		conns[i] = LocalConn{Site: sites[i]}
+		if i == nSites-1 {
+			// The last site's commits can be made to fail on demand,
+			// driving the CommitError → stranded-hold → lease-expiry path.
+			flaky = &chaosConn{Conn: conns[i]}
+			conns[i] = flaky
+		}
+		o, err := oracle.New(oracle.Config{Servers: servers, SlotSize: period.Duration(slot), Slots: 96}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror.orcs[name] = o
+	}
+	lease := 10 * period.Minute
+	br := mustBrokerConns(t, BrokerConfig{
+		Strategy:         LoadBalance{},
+		Lease:            lease,
+		MaxAttempts:      1, // the test drives its own windows; no hidden Δt retries
+		CommitRetries:    1, // one injected failure is a failed commit, not a retried one
+		BreakerThreshold: -1,
+		ProbeCache:       true,
+	}, conns...)
+
+	// Quantized window pool: starts on slot boundaries a few slots out, two
+	// durations — small enough that repeat probes hit the cache.
+	poolWindow := func(now period.Time) (period.Time, period.Time) {
+		start := (int64(now)/slot + 1 + rng.Int63n(6)) * slot
+		dur := (1 + rng.Int63n(2)) * slot
+		return period.Time(start), period.Time(start + dur)
+	}
+
+	type liveAlloc struct{ alloc MultiAllocation }
+	var live []liveAlloc
+	now := period.Time(0)
+
+	sumFeasible := func(start, end period.Time) int {
+		n := 0
+		for _, o := range mirror.orcs {
+			n += len(o.Feasible(start, end))
+		}
+		return n
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // co-allocate
+			start, end := poolWindow(now)
+			want := 1 + rng.Intn(12)
+			if rng.Intn(4) == 0 {
+				flaky.failCommits.Store(1)
+			}
+			avail := sumFeasible(start, end)
+			alloc, err := br.CoAllocate(now, Request{
+				ID:       int64(step),
+				Start:    start,
+				Duration: period.Duration(end - start),
+				Servers:  want,
+			})
+			switch e := err.(type) {
+			case nil:
+				if avail < want {
+					t.Fatalf("step %d: broker granted %d servers over [%d,%d) but the oracle counts only %d feasible",
+						step, want, start, end, avail)
+				}
+				for _, sh := range alloc.Shares {
+					if err := mirror.orcs[sh.Site].Allocate(sh.Servers, alloc.Start, alloc.End); err != nil {
+						t.Fatalf("step %d: site %s granted servers the oracle says are busy: %v", step, sh.Site, err)
+					}
+				}
+				live = append(live, liveAlloc{alloc: alloc})
+			case *CommitError:
+				// Committed-then-aborted shares are net zero (the abort at now
+				// cancels a window that has not started). Failed shares stay
+				// leased on the site until expiry.
+				aborted := make(map[string]bool, len(e.Aborted))
+				for _, s := range e.Aborted {
+					aborted[s] = true
+				}
+				failed := make(map[string]bool, len(e.Failed))
+				for _, s := range e.Failed {
+					failed[s] = true
+				}
+				for _, sh := range e.Shares {
+					switch {
+					case failed[sh.Site]:
+						if err := mirror.orcs[sh.Site].Allocate(sh.Servers, start, end); err != nil {
+							t.Fatalf("step %d: mirroring stranded hold on %s: %v", step, sh.Site, err)
+						}
+						mirror.holds = append(mirror.holds, diffHold{
+							site: sh.Site, servers: sh.Servers,
+							start: start, end: end, expires: now.Add(lease),
+						})
+					case aborted[sh.Site]:
+						// compensated: nothing to mirror
+					default:
+						t.Fatalf("step %d: share on %s neither aborted nor failed in %+v", step, sh.Site, e)
+					}
+				}
+			default:
+				if avail >= want {
+					t.Fatalf("step %d: broker rejected %d servers over [%d,%d) (%v) but the oracle counts %d feasible",
+						step, want, start, end, err, avail)
+				}
+			}
+		case op < 6: // early release of a random live allocation
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			a := live[i].alloc
+			live = append(live[:i], live[i+1:]...)
+			if err := br.Release(now, a); err != nil {
+				t.Fatalf("step %d: release of %s: %v", step, a.HoldID, err)
+			}
+			if a.End > now {
+				// The site truncates each share at now (cancelling it when the
+				// window has not started); a closed window was pruned — no-op.
+				for _, sh := range a.Shares {
+					if err := mirror.orcs[sh.Site].Release(sh.Servers, a.Start, a.End, now); err != nil {
+						t.Fatalf("step %d: mirror release on %s: %v", step, sh.Site, err)
+					}
+				}
+			}
+		case op < 7: // advance the clock
+			now = now.Add(period.Duration(rng.Int63n(600)))
+			mirror.expire(t, now)
+			for _, o := range mirror.orcs {
+				o.Advance(now)
+			}
+		}
+
+		// The three-way assertion: direct site range search, cached broker
+		// probe, and oracle must agree on one pooled window.
+		start, end := poolWindow(now)
+		av := br.ProbeAll(now, start, end)
+		for i, a := range av {
+			name := a.Conn.Name()
+			if a.Err != nil {
+				t.Fatalf("step %d: probe of %s: %v", step, name, a.Err)
+			}
+			want := mirror.orcs[name].Feasible(start, end)
+			if a.Available != len(want) {
+				t.Fatalf("step %d: cached probe of %s over [%d,%d) at now=%d = %d, oracle says %d (%v)",
+					step, name, start, end, now, a.Available, len(want), want)
+			}
+			direct := diffFeasibleSet(sites[i].RangeSearch(now, start, end))
+			if !diffSetsEqual(direct, want) {
+				t.Fatalf("step %d: site %s range search over [%d,%d) = %v, oracle says %v",
+					step, name, start, end, direct, want)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			for _, sr := range br.RangeAll(now, start, end) {
+				if sr.Err != nil {
+					t.Fatalf("step %d: range-all of %s: %v", step, sr.Conn.Name(), sr.Err)
+				}
+				want := mirror.orcs[sr.Conn.Name()].Feasible(start, end)
+				if got := diffFeasibleSet(sr.Feasible); !diffSetsEqual(got, want) {
+					t.Fatalf("step %d: cached range of %s over [%d,%d) = %v, oracle says %v",
+						step, sr.Conn.Name(), start, end, got, want)
+				}
+			}
+		}
+
+		// Periodic concurrency burst: identical probes race through the
+		// single-flight group; every one of them must still match the oracle.
+		if step%1000 == 999 {
+			bs, be := poolWindow(now)
+			wantPer := make(map[string]int, nSites)
+			for name, o := range mirror.orcs {
+				wantPer[name] = len(o.Feasible(bs, be))
+			}
+			var wg sync.WaitGroup
+			errs := make(chan string, 8*nSites)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, a := range br.ProbeAll(now, bs, be) {
+						if a.Err != nil {
+							errs <- fmt.Sprintf("burst probe of %s: %v", a.Conn.Name(), a.Err)
+						} else if a.Available != wantPer[a.Conn.Name()] {
+							errs <- fmt.Sprintf("burst probe of %s = %d, oracle says %d",
+								a.Conn.Name(), a.Available, wantPer[a.Conn.Name()])
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatalf("step %d: %s", step, e)
+			}
+		}
+	}
+
+	cs := br.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("differential run never hit the cache: %+v", cs)
+	}
+	if cs.Invalidations == 0 {
+		t.Fatalf("differential run never invalidated on 2PC traffic: %+v", cs)
+	}
+	t.Logf("%d steps, %d live allocations at end, cache %+v", steps, len(live), cs)
+}

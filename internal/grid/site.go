@@ -37,10 +37,12 @@
 package grid
 
 import (
+	"crypto/rand"
 	"fmt"
 	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"coalloc/internal/calendar"
 	"coalloc/internal/core"
@@ -75,7 +77,12 @@ type pendingWrite struct {
 // protocol counters as of the end of a mutation batch. Immutable once
 // published.
 type siteView struct {
-	cal                                   *calendar.View
+	cal *calendar.View
+	// epoch identifies the availability state this view answers for:
+	// epochSalt + the calendar's mutation epoch. Two views with equal
+	// epochs answer every probe and range search identically, so a broker
+	// may reuse a cached answer for as long as the epoch stands still.
+	epoch                                 uint64
 	prepared, committed, aborted, expired uint64
 }
 
@@ -94,6 +101,16 @@ type Site struct {
 	// stay allocated for the full job duration.
 	committedHolds map[string]Hold
 	tracer         obs.Tracer // optional; see Instrument
+
+	// epochSalt offsets the calendar's mutation epoch in every published
+	// view. The calendar counter restarts at the recovered value after a
+	// WAL replay but at zero after a restore from an older snapshot; a
+	// random per-incarnation salt keeps epochs from different lifetimes of
+	// the "same" site disjoint, so a broker can never mistake a pre-restart
+	// cache entry for current state. Within one incarnation the epoch is
+	// strictly monotone. The salt is drawn so the epoch is never zero —
+	// zero is the wire sentinel for "this site does not report epochs".
+	epochSalt uint64
 
 	// durability; see durability.go
 	wal    WAL      // optional journal; see AttachWAL
@@ -124,9 +141,26 @@ func NewSite(name string, cfg core.Config, now period.Time) (*Site, error) {
 		sched:          sched,
 		holds:          make(map[string]Hold),
 		committedHolds: make(map[string]Hold),
+		epochSalt:      newEpochSalt(),
 	}
 	s.publishLocked()
 	return s, nil
+}
+
+// newEpochSalt draws the per-incarnation epoch offset: random (so distinct
+// site lifetimes occupy disjoint epoch ranges), nonzero, and small enough
+// that salt + calendar epoch cannot wrap uint64 in any realistic lifetime.
+func newEpochSalt() uint64 {
+	var b [7]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the boot instant, which still differs across restarts.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	var salt uint64
+	for _, x := range b {
+		salt = salt<<8 | uint64(x)
+	}
+	return salt | 1
 }
 
 // Name returns the site's identifier.
@@ -144,8 +178,10 @@ func (s *Site) publishLocked() {
 	if s.wal != nil && s.walErr != nil {
 		return
 	}
+	cv := s.sched.PublishView()
 	s.view.Store(&siteView{
-		cal:       s.sched.PublishView(),
+		cal:       cv,
+		epoch:     s.epochSalt + cv.Epoch(),
 		prepared:  s.prepared,
 		committed: s.committed,
 		aborted:   s.aborted,
@@ -271,6 +307,55 @@ func (s *Site) Probe(now, start, end period.Time) int {
 		return nil
 	})
 	return n
+}
+
+// ProbeView is Probe extended with the metadata a caching broker needs: the
+// epoch the answer was computed at and the site clock it is valid through.
+// An answer may be reused for any later probe whose now does not exceed
+// siteNow, for as long as the site keeps reporting the same epoch; the first
+// mutation (or slot rotation) bumps the epoch and retires every answer
+// computed before it. Served lock-free from the published view whenever now
+// does not move the clock; a clock-moving probe rides the write queue and
+// reports the post-advance epoch.
+func (s *Site) ProbeView(now, start, end period.Time) (n int, epoch uint64, siteNow period.Time) {
+	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		return v.cal.Available(start, end), v.epoch, v.cal.Now()
+	}
+	_ = s.submitWrite(func() error {
+		s.advanceLocked(now)
+		n = s.sched.Available(start, end)
+		epoch = s.epochSalt + s.sched.MutationEpoch()
+		siteNow = s.sched.Now()
+		return nil
+	})
+	return n, epoch, siteNow
+}
+
+// RangeSearchView is RangeSearch extended with the same cacheability
+// metadata as ProbeView.
+func (s *Site) RangeSearchView(now, start, end period.Time) (feasible []period.Period, epoch uint64, siteNow period.Time) {
+	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		return v.cal.RangeSearch(start, end), v.epoch, v.cal.Now()
+	}
+	_ = s.submitWrite(func() error {
+		s.advanceLocked(now)
+		feasible = s.sched.RangeSearch(start, end)
+		epoch = s.epochSalt + s.sched.MutationEpoch()
+		siteNow = s.sched.Now()
+		return nil
+	})
+	return feasible, epoch, siteNow
+}
+
+// Epoch returns the site's current availability epoch, as of the last
+// published view.
+func (s *Site) Epoch() uint64 {
+	if v := s.view.Load(); v != nil {
+		return v.epoch
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochSalt + s.sched.MutationEpoch()
 }
 
 // RangeSearch returns every idle period feasible for [start, end) as of now

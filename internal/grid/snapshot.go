@@ -82,6 +82,10 @@ func RestoreSite(r io.Reader) (*Site, error) {
 		committed:      snap.Committed,
 		aborted:        snap.Aborted,
 		expired:        snap.Expired,
+		// A fresh salt, not a serialized one: the snapshot may be stale, so
+		// the restored incarnation must not answer under epochs the previous
+		// incarnation already handed to brokers.
+		epochSalt: newEpochSalt(),
 	}
 	for _, h := range snap.Holds {
 		if h.ID == "" {

@@ -33,6 +33,11 @@ const (
 	// a successful half-open trial.
 	EventBreakerOpen  = "breaker_open"
 	EventBreakerClose = "breaker_close"
+
+	// EventCacheInvalidate marks a broker dropping a site's cached
+	// availability answers — because the site reported a new epoch, or
+	// because the broker itself just mutated the site (2PC traffic).
+	EventCacheInvalidate = "cache_invalidate"
 )
 
 // Tracer receives structured per-request events. Implementations must be

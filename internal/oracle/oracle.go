@@ -1,0 +1,184 @@
+// Package oracle is a brute-force reference scheduler used as a
+// differential-testing ground truth. It answers the same availability
+// questions as the production stack — which servers are idle throughout a
+// window, subject to the moving slot horizon — but by the dumbest correct
+// means available: a linear scan over per-server reservation lists. No slot
+// trees, no tail index, no copy-on-write views, no caches. Any behavioural
+// divergence between the oracle and the optimized path (calendar's two-phase
+// dtree search, grid's lock-free views, the broker's epoch-keyed probe
+// cache) is a bug in one of them.
+//
+// The oracle deliberately re-implements the *semantics* of
+// internal/calendar from its documentation, not its code: the slot window
+// [base, base+Slots) bounds every search, the base slot only moves forward,
+// reservations must start at or after genesis, and an early release
+// truncates (or, at or before the start, cancels) a reservation. Keeping
+// the two implementations textually unrelated is what gives the
+// differential test its power.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"coalloc/internal/period"
+)
+
+// Config mirrors the scheduler dimensions the oracle needs.
+type Config struct {
+	Servers  int
+	SlotSize period.Duration
+	Slots    int
+}
+
+// ival is one committed reservation [start, end) on a server.
+type ival struct {
+	start, end period.Time
+}
+
+// Oracle is the reference scheduler. Not safe for concurrent use.
+type Oracle struct {
+	cfg     Config
+	now     period.Time
+	genesis period.Time
+	base    int64 // absolute index of the earliest active slot; only increases
+	busy    [][]ival
+}
+
+// New creates an oracle with every server idle, starting at now.
+func New(cfg Config, now period.Time) (*Oracle, error) {
+	if cfg.Servers <= 0 || cfg.SlotSize <= 0 || cfg.Slots <= 0 {
+		return nil, fmt.Errorf("oracle: invalid config %+v", cfg)
+	}
+	return &Oracle{
+		cfg:     cfg,
+		now:     now,
+		genesis: now,
+		base:    int64(now) / int64(cfg.SlotSize),
+		busy:    make([][]ival, cfg.Servers),
+	}, nil
+}
+
+// Now returns the oracle's clock.
+func (o *Oracle) Now() period.Time { return o.now }
+
+// HorizonEnd returns the right edge of the last active slot.
+func (o *Oracle) HorizonEnd() period.Time {
+	return period.Time((o.base + int64(o.cfg.Slots)) * int64(o.cfg.SlotSize))
+}
+
+// Advance moves the clock (and therefore the slot window) forward. Moving
+// it backwards is a programming error, as in the calendar.
+func (o *Oracle) Advance(now period.Time) {
+	if now < o.now {
+		panic(fmt.Sprintf("oracle: Advance to %d before current time %d", now, o.now))
+	}
+	o.now = now
+	if b := int64(now) / int64(o.cfg.SlotSize); b > o.base {
+		o.base = b
+	}
+}
+
+// Feasible returns, in ascending order, every server idle throughout
+// [start, end) whose covering idle gap begins at or before start — the same
+// answer set as Calendar.RangeSearch, including its window bounds: nil when
+// the window is empty, when start's slot lies outside [base, base+Slots),
+// or when end exceeds the horizon.
+func (o *Oracle) Feasible(start, end period.Time) []int {
+	if end <= start {
+		return nil
+	}
+	q := int64(start) / int64(o.cfg.SlotSize)
+	if q < o.base || q >= o.base+int64(o.cfg.Slots) || end > o.HorizonEnd() {
+		return nil
+	}
+	var out []int
+	for srv := 0; srv < o.cfg.Servers; srv++ {
+		if o.idleThroughout(srv, start, end) {
+			out = append(out, srv)
+		}
+	}
+	return out
+}
+
+// Available reports how many servers Feasible would return.
+func (o *Oracle) Available(start, end period.Time) int { return len(o.Feasible(start, end)) }
+
+// idleThroughout reports whether the server's idle gap covering start
+// extends through end. A gap exists only from genesis onward: a window
+// reaching before the system existed has no covering idle period.
+func (o *Oracle) idleThroughout(srv int, start, end period.Time) bool {
+	gapStart := o.genesis
+	for _, iv := range o.busy[srv] {
+		if iv.start < end && start < iv.end {
+			return false // overlaps a reservation
+		}
+		if iv.end <= start && iv.end > gapStart {
+			gapStart = iv.end
+		}
+	}
+	return gapStart <= start
+}
+
+// Allocate commits [start, end) on each listed server. The caller feeds it
+// the server IDs the production scheduler actually granted, so the oracle
+// tracks the same ground truth without re-implementing selection policy.
+func (o *Oracle) Allocate(servers []int, start, end period.Time) error {
+	if end <= start {
+		return fmt.Errorf("oracle: empty allocation [%d,%d)", start, end)
+	}
+	for _, srv := range servers {
+		if srv < 0 || srv >= o.cfg.Servers {
+			return fmt.Errorf("oracle: unknown server %d", srv)
+		}
+		if !o.idleThroughout(srv, start, end) {
+			return fmt.Errorf("oracle: server %d not idle over [%d,%d)", srv, start, end)
+		}
+	}
+	for _, srv := range servers {
+		o.busy[srv] = append(o.busy[srv], ival{start: start, end: end})
+		sort.Slice(o.busy[srv], func(i, j int) bool { return o.busy[srv][i].start < o.busy[srv][j].start })
+	}
+	return nil
+}
+
+// Release truncates the reservation [start, end) on each listed server to
+// end at newEnd; newEnd at or before start cancels it entirely — the same
+// early-release semantics as Calendar.Release.
+func (o *Oracle) Release(servers []int, start, end, newEnd period.Time) error {
+	if newEnd >= end {
+		return fmt.Errorf("oracle: release end %d not before reservation end %d", newEnd, end)
+	}
+	for _, srv := range servers {
+		if srv < 0 || srv >= o.cfg.Servers {
+			return fmt.Errorf("oracle: unknown server %d", srv)
+		}
+		if !o.hasReservation(srv, start, end) {
+			return fmt.Errorf("oracle: no reservation [%d,%d) on server %d", start, end, srv)
+		}
+	}
+	for _, srv := range servers {
+		bl := o.busy[srv]
+		for i := range bl {
+			if bl[i].start == start && bl[i].end == end {
+				if newEnd <= start {
+					o.busy[srv] = append(bl[:i], bl[i+1:]...)
+				} else {
+					bl[i].end = newEnd
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// hasReservation reports whether the exact reservation exists on the server.
+func (o *Oracle) hasReservation(srv int, start, end period.Time) bool {
+	for _, iv := range o.busy[srv] {
+		if iv.start == start && iv.end == end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"coalloc/internal/calendar"
+	"coalloc/internal/oracle"
+	"coalloc/internal/period"
+)
+
+// feasibleServers reduces a calendar range-search answer to its server set.
+func feasibleServers(ps []period.Period) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range ps {
+		if !seen[p.Server] {
+			seen[p.Server] = true
+			out = append(out, p.Server)
+		}
+	}
+	return out
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOracleMatchesCalendar drives a calendar and the oracle through the
+// same randomized allocate/release/advance stream and asserts they agree on
+// the feasible-server set for random windows at every step. This certifies
+// the oracle itself — the grid-level differential test builds on it.
+func TestOracleMatchesCalendar(t *testing.T) {
+	const (
+		servers  = 8
+		slotSize = 900
+		slots    = 32
+		steps    = 4000
+	)
+	rng := rand.New(rand.NewSource(7))
+	cal, err := calendar.New(calendar.Config{Servers: servers, SlotSize: slotSize, Slots: slots}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := oracle.New(oracle.Config{Servers: servers, SlotSize: slotSize, Slots: slots}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type resv struct {
+		server     int
+		start, end period.Time
+	}
+	var live []resv
+	now := period.Time(0)
+
+	randomWindow := func() (period.Time, period.Time) {
+		horizon := int64(cal.HorizonEnd())
+		start := int64(now) + rng.Int63n(horizon-int64(now))
+		dur := int64(slotSize/4) + rng.Int63n(3*slotSize)
+		end := start + dur
+		if end > horizon {
+			end = horizon
+		}
+		return period.Time(start), period.Time(end)
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // allocate on one feasible server
+			start, end := randomWindow()
+			if end <= start {
+				break
+			}
+			feas := cal.RangeSearch(start, end)
+			if len(feas) == 0 {
+				break
+			}
+			p := feas[rng.Intn(len(feas))]
+			if err := cal.Allocate(p, start, end); err != nil {
+				t.Fatalf("step %d: calendar allocate: %v", step, err)
+			}
+			if err := orc.Allocate([]int{p.Server}, start, end); err != nil {
+				t.Fatalf("step %d: oracle allocate of calendar-granted server: %v", step, err)
+			}
+			live = append(live, resv{server: p.Server, start: start, end: end})
+		case op < 6: // release (truncate or cancel) a live reservation
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			r := live[i]
+			if r.end <= now {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+			at := r.start - period.Time(rng.Int63n(2)) // cancel
+			if r.end-r.start > 1 && rng.Intn(2) == 0 {
+				at = r.start + period.Time(1+rng.Int63n(int64(r.end-r.start-1))) // truncate
+			}
+			if at < now && now < r.end {
+				at = now
+			}
+			if at >= r.end {
+				break
+			}
+			if err := cal.Release(r.server, r.start, r.end, at); err != nil {
+				t.Fatalf("step %d: calendar release: %v", step, err)
+			}
+			if err := orc.Release([]int{r.server}, r.start, r.end, at); err != nil {
+				t.Fatalf("step %d: oracle release: %v", step, err)
+			}
+			if at <= r.start {
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				live[i].end = at
+			}
+		case op < 7: // advance the clock
+			now = now.Add(period.Duration(rng.Int63n(2 * slotSize)))
+			cal.Advance(now)
+			orc.Advance(now)
+		}
+
+		// The invariant: both schedulers agree on a random window's
+		// feasible-server set, including windows chosen to straddle the
+		// horizon bounds.
+		start, end := randomWindow()
+		if rng.Intn(8) == 0 {
+			end = cal.HorizonEnd() + period.Time(rng.Int63n(slotSize)) // past horizon
+		}
+		got := feasibleServers(cal.RangeSearch(start, end))
+		want := orc.Feasible(start, end)
+		if !equalSets(got, want) {
+			t.Fatalf("step %d: window [%d,%d) at now=%d: calendar=%v oracle=%v",
+				step, start, end, now, got, want)
+		}
+	}
+}
+
+func TestOracleBounds(t *testing.T) {
+	orc, err := oracle.New(oracle.Config{Servers: 4, SlotSize: 900, Slots: 8}, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := orc.HorizonEnd()
+	cases := []struct {
+		name       string
+		start, end period.Time
+		want       int
+	}{
+		{"empty window", 2000, 2000, 0},
+		{"inverted window", 2400, 2000, 0},
+		{"before base slot", 0, 900, 0},
+		{"past horizon", horizon - 100, horizon + 1, 0},
+		{"at horizon", horizon - 900, horizon, 4},
+		{"normal", 2000, 3000, 4},
+	}
+	for _, c := range cases {
+		if got := orc.Available(c.start, c.end); got != c.want {
+			t.Errorf("%s: Available(%d,%d) = %d, want %d", c.name, c.start, c.end, got, c.want)
+		}
+	}
+
+	// A window reaching before genesis has no covering idle period even on
+	// an empty server.
+	orc2, _ := oracle.New(oracle.Config{Servers: 2, SlotSize: 900, Slots: 8}, 1000)
+	if got := orc2.Available(950, 1800); got != 0 {
+		t.Errorf("window straddling genesis: Available = %d, want 0", got)
+	}
+}
+
+func TestOracleReleaseSemantics(t *testing.T) {
+	orc, err := oracle.New(oracle.Config{Servers: 2, SlotSize: 900, Slots: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orc.Allocate([]int{0, 1}, 900, 1800); err != nil {
+		t.Fatal(err)
+	}
+	if got := orc.Available(900, 1800); got != 0 {
+		t.Fatalf("after allocate: Available = %d, want 0", got)
+	}
+	// Double allocation of a busy server must fail.
+	if err := orc.Allocate([]int{0}, 1000, 1200); err == nil {
+		t.Fatal("overlapping allocate succeeded")
+	}
+	// Truncate server 0's reservation at 1200: [1200, 1800) frees up.
+	if err := orc.Release([]int{0}, 900, 1800, 1200); err != nil {
+		t.Fatal(err)
+	}
+	if got := orc.Feasible(1200, 1800); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("after truncate: Feasible = %v, want [0]", got)
+	}
+	// Cancel server 1's reservation entirely.
+	if err := orc.Release([]int{1}, 900, 1800, 900); err != nil {
+		t.Fatal(err)
+	}
+	if got := orc.Available(900, 1800); got != 1 {
+		t.Fatalf("after cancel: Available = %d, want 1 (server 1 free, 0 busy until 1200)", got)
+	}
+	// Releasing a reservation that does not exist must fail.
+	if err := orc.Release([]int{0}, 5, 10, 5); err == nil {
+		t.Fatal("release of unknown reservation succeeded")
+	}
+}

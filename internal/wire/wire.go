@@ -30,9 +30,17 @@ type ProbeArgs struct {
 // ProbeReply carries the probed availability together with the site's
 // capacity, so a broker's split decision needs one round trip per site, not
 // two.
+//
+// Epoch and SiteNow are the cacheability metadata of grid.ProbeResult. Both
+// ride gob, which silently drops fields the peer does not know and zeroes
+// fields the peer did not send: an old broker ignores them, and a reply
+// from an old server decodes with Epoch == 0 — the sentinel telling a new
+// broker the answer carries no invalidation signal and must not be cached.
 type ProbeReply struct {
 	Available int
 	Capacity  int
+	Epoch     uint64
+	SiteNow   period.Time
 }
 
 // RangeArgs asks for every feasible start period for a window — the
@@ -41,9 +49,12 @@ type RangeArgs struct {
 	Now, Start, End period.Time
 }
 
-// RangeReply lists the feasible periods.
+// RangeReply lists the feasible periods, with the same backward-compatible
+// cacheability metadata as ProbeReply.
 type RangeReply struct {
 	Feasible []period.Period
+	Epoch    uint64
+	SiteNow  period.Time
 }
 
 // PrepareArgs leases servers for a window (2PC phase 1).
@@ -56,9 +67,14 @@ type PrepareArgs struct {
 	Lease   period.Duration
 }
 
-// PrepareReply lists the granted server IDs.
+// PrepareReply lists the granted server IDs and the site epoch after the
+// prepare applied, so a caching broker learns immediately that the epoch it
+// cached probe answers under is gone (it invalidates around its own 2PC
+// traffic regardless — the field closes the loop for third-party observers
+// and keeps all three reply types uniformly tagged).
 type PrepareReply struct {
 	Servers []int
+	Epoch   uint64
 }
 
 // DecideArgs commits or aborts a hold (2PC phase 2).
@@ -141,13 +157,21 @@ func (m *svcMetrics) observe(method string, fn func() error) error {
 type Service struct {
 	site *grid.Site
 	m    *svcMetrics
+	// suppressEpochs omits epoch metadata from replies, emulating a server
+	// binary that predates the epoch field; see Server.SuppressEpochs.
+	suppressEpochs bool
 }
 
 // Probe implements the RPC method.
 func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
 	return s.m.observe("Probe", func() error {
-		reply.Available = s.site.Probe(args.Now, args.Start, args.End)
+		n, epoch, siteNow := s.site.ProbeView(args.Now, args.Start, args.End)
+		reply.Available = n
 		reply.Capacity = s.site.Servers()
+		if !s.suppressEpochs {
+			reply.Epoch = epoch
+			reply.SiteNow = siteNow
+		}
 		return nil
 	})
 }
@@ -155,7 +179,12 @@ func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
 // Range implements the RPC method.
 func (s *Service) Range(args RangeArgs, reply *RangeReply) error {
 	return s.m.observe("Range", func() error {
-		reply.Feasible = s.site.RangeSearch(args.Now, args.Start, args.End)
+		feasible, epoch, siteNow := s.site.RangeSearchView(args.Now, args.Start, args.End)
+		reply.Feasible = feasible
+		if !s.suppressEpochs {
+			reply.Epoch = epoch
+			reply.SiteNow = siteNow
+		}
 		return nil
 	})
 }
@@ -168,6 +197,9 @@ func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
 			return err
 		}
 		reply.Servers = servers
+		if !s.suppressEpochs {
+			reply.Epoch = s.site.Epoch()
+		}
 		return nil
 	})
 }
@@ -241,6 +273,13 @@ func NewServer(site *grid.Site) (*Server, error) {
 	}
 	return &Server{site: site, svc: svc, rpc: srv, conns: make(map[net.Conn]struct{})}, nil
 }
+
+// SuppressEpochs makes the server omit the epoch metadata from Probe,
+// Range, and Prepare replies, byte-compatibly emulating a site binary that
+// predates the epoch field. Call before Serve. Tests (and gridd
+// -suppress-epochs) use it to prove a caching broker degrades to uncached
+// correctness against old servers instead of poisoning its cache.
+func (s *Server) SuppressEpochs() { s.svc.suppressEpochs = true }
 
 // Instrument installs per-method latency histograms, an error counter, and
 // connection gauges under reg's "wire.server." prefix. Call before Serve.
@@ -365,7 +404,10 @@ type Client struct {
 	reconnects *obs.Counter
 }
 
-var _ grid.Conn = (*Client)(nil)
+var (
+	_ grid.Conn      = (*Client)(nil)
+	_ grid.RangeConn = (*Client)(nil)
+)
 
 // Dial connects to a site daemon and fetches its identity, with no
 // deadlines (the historical behavior). Production brokers should prefer
@@ -529,7 +571,14 @@ func (c *Client) Probe(now, start, end period.Time) (grid.ProbeResult, error) {
 	if err := c.call("Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
 		return grid.ProbeResult{}, err
 	}
-	r := grid.ProbeResult{Available: reply.Available, Capacity: reply.Capacity}
+	r := grid.ProbeResult{
+		Available: reply.Available,
+		Capacity:  reply.Capacity,
+		// Epoch stays zero when the server predates the field, which tells
+		// a caching broker the answer has no invalidation signal.
+		Epoch:   reply.Epoch,
+		SiteNow: reply.SiteNow,
+	}
 	if r.Capacity == 0 {
 		// A pre-Capacity server left the field unset; fall back to the
 		// capacity cached from the Info handshake.
@@ -545,6 +594,16 @@ func (c *Client) Range(now, start, end period.Time) ([]period.Period, error) {
 		return nil, err
 	}
 	return reply.Feasible, nil
+}
+
+// RangeView implements grid.RangeConn: the range search tagged with the
+// epoch metadata a caching broker needs.
+func (c *Client) RangeView(now, start, end period.Time) (grid.RangeResult, error) {
+	var reply RangeReply
+	if err := c.call("Range", RangeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
+		return grid.RangeResult{}, err
+	}
+	return grid.RangeResult{Feasible: reply.Feasible, Epoch: reply.Epoch, SiteNow: reply.SiteNow}, nil
 }
 
 // Prepare implements grid.Conn.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Coverage ratchet: fail when total statement coverage drops more than
+# MAX_DROP points below the committed baseline (COVERAGE_BASELINE). The
+# baseline only moves by committing a new number — raise it when coverage
+# genuinely improves, so the floor ratchets up and never silently erodes.
+#
+# Usage: scripts/coverage.sh [profile]
+#   profile  where to write the merged cover profile (default: cover.out)
+#
+# With GITHUB_STEP_SUMMARY set (as in CI), a per-package coverage table is
+# appended to the job summary.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROFILE="${1:-cover.out}"
+BASELINE_FILE="COVERAGE_BASELINE"
+MAX_DROP="0.5"
+
+go test -count=1 -coverprofile="$PROFILE" ./...
+
+total="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+baseline="$(tr -d '[:space:]' < "$BASELINE_FILE")"
+floor="$(awk -v b="$baseline" -v d="$MAX_DROP" 'BEGIN {printf "%.1f", b - d}')"
+
+# Per-package table: aggregate the profile per package directory.
+perpkg="$(go tool cover -func="$PROFILE" | awk '
+  /^total:/ { next }
+  {
+    split($1, parts, ":")
+    n = split(parts[1], segs, "/")
+    pkg = parts[1]; sub("/" segs[n] "$", "", pkg)
+    sub(/%/, "", $3)
+    sum[pkg] += $3; cnt[pkg]++
+  }
+  END { for (p in sum) printf "%s %.1f\n", p, sum[p] / cnt[p] }' | sort)"
+
+{
+  echo "## Coverage"
+  echo
+  echo "**Total: ${total}%** (baseline ${baseline}%, floor ${floor}%)"
+  echo
+  echo "| Package | Coverage (mean per function) |"
+  echo "|---|---|"
+  echo "$perpkg" | awk '{printf "| %s | %s%% |\n", $1, $2}'
+} >> "${GITHUB_STEP_SUMMARY:-/dev/null}"
+
+echo "coverage: total ${total}% (baseline ${baseline}%, floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN {exit !(t < f)}'; then
+  echo "coverage: FAIL — total ${total}% fell more than ${MAX_DROP}pt below the committed baseline ${baseline}%" >&2
+  echo "coverage: if the drop is intentional, lower ${BASELINE_FILE}; otherwise add tests" >&2
+  exit 1
+fi
+
+# Nudge (not a failure): the baseline should ratchet up with real gains.
+if awk -v t="$total" -v b="$baseline" 'BEGIN {exit !(t > b + 1.0)}'; then
+  echo "coverage: note — total ${total}% exceeds baseline ${baseline}% by >1pt; consider raising ${BASELINE_FILE}"
+fi
