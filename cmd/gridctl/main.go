@@ -6,6 +6,11 @@
 //	gridctl -sites 127.0.0.1:7001,127.0.0.1:7002 -servers 96 -duration 7200
 //	gridctl stats -sites 127.0.0.1:7001,127.0.0.1:7002
 //	gridctl checkpoint -sites 127.0.0.1:7001,127.0.0.1:7002
+//	gridctl trace -from 127.0.0.1:8001 -slow 25ms -error
+//
+// `gridctl trace` reads a daemon's always-on flight recorder (served on its
+// -debug address under /debug/traces) and renders each retained trace as an
+// indented timeline.
 package main
 
 import (
@@ -37,6 +42,9 @@ func main() {
 			return
 		case "checkpoint":
 			checkpointMain(os.Args[2:])
+			return
+		case "trace":
+			traceMain(os.Args[2:])
 			return
 		}
 	}
@@ -98,6 +106,7 @@ func main() {
 				a.Conn.Name(), a.Available, a.Capacity, s, e)
 		}
 		printCacheStats(broker, *cache)
+		printBreakerStats(broker)
 		return
 	}
 
@@ -117,6 +126,7 @@ func main() {
 		fmt.Printf("  site %-12s servers %v\n", sh.Site, sh.Servers)
 	}
 	printCacheStats(broker, *cache)
+	printBreakerStats(broker)
 }
 
 // printCacheStats summarizes the availability cache's work when it was on —
@@ -128,4 +138,20 @@ func printCacheStats(b *grid.Broker, enabled bool) {
 	cs := b.CacheStats()
 	fmt.Printf("cache: %d hits, %d misses, %d coalesced, %d stale, %d invalidated\n",
 		cs.Hits, cs.Misses, cs.Coalesced, cs.Stale, cs.Invalidations)
+}
+
+// printBreakerStats reports each site's circuit-breaker state, so a partial
+// or failed run shows at a glance which site the broker had given up on and
+// for how much longer.
+func printBreakerStats(b *grid.Broker) {
+	for _, h := range b.Health() {
+		line := fmt.Sprintf("breaker: %-12s %s", h.Site, h.State)
+		if h.Failures > 0 {
+			line += fmt.Sprintf(", %d consecutive failures", h.Failures)
+		}
+		if h.Cooldown > 0 {
+			line += fmt.Sprintf(", next trial in %s", h.Cooldown.Round(time.Millisecond))
+		}
+		fmt.Println(line)
+	}
 }

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"coalloc/internal/obs"
+)
+
+// traceMain implements `gridctl trace`: it fetches a daemon's flight
+// recorder over the -debug HTTP endpoint and renders each trace as an
+// indented timeline, children under parents, offsets relative to the trace
+// start — the after-the-fact view of where a request's time went.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("gridctl trace", flag.ExitOnError)
+	from := fs.String("from", "127.0.0.1:8001", "a gridd -debug address (host:port) to read /debug/traces from")
+	slow := fs.Duration("slow", 0, "only traces at least this long")
+	errOnly := fs.Bool("error", false, "only errored traces")
+	id := fs.String("id", "", "only the trace with this hex id")
+	limit := fs.Int("limit", 0, "at most this many traces (0: all retained)")
+	fs.Parse(args)
+
+	q := url.Values{}
+	if *slow > 0 {
+		q.Set("slow", slow.String())
+	}
+	if *errOnly {
+		q.Set("error", "1")
+	}
+	if *id != "" {
+		q.Set("id", *id)
+	}
+	if *limit > 0 {
+		q.Set("limit", fmt.Sprint(*limit))
+	}
+	u := "http://" + *from + "/debug/traces"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "gridctl: %s: %s: %s\n", u, resp.Status, strings.TrimSpace(string(body)))
+		os.Exit(1)
+	}
+	var traces []obs.TraceJSON
+	dec := json.NewDecoder(resp.Body)
+	// Numeric attrs (epochs, IDs) must render verbatim: default decoding
+	// into `any` turns them into float64 and a 64-bit epoch comes out as
+	// lossy scientific notation.
+	dec.UseNumber()
+	if err := dec.Decode(&traces); err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl: decoding /debug/traces:", err)
+		os.Exit(1)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces retained (or none matched the filters)")
+		return
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderTrace(os.Stdout, t)
+	}
+}
+
+// renderTrace writes one trace as an indented timeline. Spans whose parent
+// is not part of this fragment (the local root, or a remote parent from
+// another process) sit at depth zero; everything else nests under its
+// parent in recorded order.
+func renderTrace(w io.Writer, t obs.TraceJSON) {
+	var marks []string
+	if t.Errored {
+		marks = append(marks, "ERRORED")
+	}
+	if t.Remote {
+		marks = append(marks, "remote fragment")
+	}
+	suffix := ""
+	if len(marks) > 0 {
+		suffix = "  [" + strings.Join(marks, ", ") + "]"
+	}
+	fmt.Fprintf(w, "trace %s  %s  %s  %s%s\n",
+		t.TraceID, t.Root, t.Start.Format(time.RFC3339Nano), fmtUS(t.DurationUS), suffix)
+
+	local := make(map[string]bool, len(t.Spans))
+	for _, sp := range t.Spans {
+		local[sp.SpanID] = true
+	}
+	children := map[string][]int{}
+	var roots []int
+	for i, sp := range t.Spans {
+		if sp.Parent != "" && local[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := t.Spans[i]
+		fmt.Fprintf(w, "  [%8s +%8s] %s%s%s%s\n",
+			fmtUS(sp.OffsetUS), fmtUS(sp.DurationUS),
+			strings.Repeat("  ", depth), sp.Name, fmtAttrs(sp.Attrs), fmtErr(sp.Err))
+		for _, c := range children[sp.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// fmtUS renders a microsecond count the way Go renders durations.
+func fmtUS(us int64) string {
+	return (time.Duration(us) * time.Microsecond).String()
+}
+
+// fmtAttrs renders span attributes as sorted k=v pairs.
+func fmtAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, attrs[k])
+	}
+	return b.String()
+}
+
+func fmtErr(s string) string {
+	if s == "" {
+		return ""
+	}
+	return fmt.Sprintf(" err=%q", s)
+}

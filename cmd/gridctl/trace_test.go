@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coalloc/internal/obs"
+)
+
+func TestRenderTraceTimeline(t *testing.T) {
+	tr := obs.TraceJSON{
+		TraceID:    "00000000000000aa",
+		Root:       "broker.coallocate",
+		Start:      time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		DurationUS: 1500,
+		Errored:    true,
+		Spans: []obs.SpanJSON{
+			{SpanID: "01", Name: "broker.coallocate", DurationUS: 1500, Attrs: map[string]any{"job": 9}},
+			{SpanID: "02", Parent: "01", Name: "broker.attempt", OffsetUS: 10, DurationUS: 900},
+			{SpanID: "03", Parent: "02", Name: "broker.probe", OffsetUS: 20, DurationUS: 100,
+				Err: "zeta: timeout", Attrs: map[string]any{"site": "zeta", "source": "rpc"}},
+		},
+	}
+	var b strings.Builder
+	renderTrace(&b, tr)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "trace 00000000000000aa") || !strings.Contains(lines[0], "[ERRORED]") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	// Indentation deepens with the span tree.
+	if !strings.Contains(lines[1], "] broker.coallocate job=9") {
+		t.Errorf("root span line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "]   broker.attempt") {
+		t.Errorf("attempt span not indented once: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "]     broker.probe site=zeta source=rpc") ||
+		!strings.Contains(lines[3], `err="zeta: timeout"`) {
+		t.Errorf("probe span = %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "900µs") || !strings.Contains(lines[3], "20µs") {
+		t.Errorf("offsets/durations missing:\n%s", out)
+	}
+}
+
+func TestRenderTraceRemoteFragment(t *testing.T) {
+	tr := obs.TraceJSON{
+		TraceID:    "00000000000000bb",
+		Root:       "site.prepare",
+		Remote:     true,
+		DurationUS: 80,
+		Spans: []obs.SpanJSON{
+			// The root's parent lives in another process; it must sit at
+			// depth zero, not vanish.
+			{SpanID: "11", Parent: "ff", Name: "site.prepare", DurationUS: 80},
+			{SpanID: "12", Parent: "11", Name: "site.queue.wait", OffsetUS: 5, DurationUS: 30},
+		},
+	}
+	var b strings.Builder
+	renderTrace(&b, tr)
+	out := b.String()
+	if !strings.Contains(out, "[remote fragment]") {
+		t.Errorf("remote mark missing:\n%s", out)
+	}
+	if !strings.Contains(out, "] site.prepare") {
+		t.Errorf("fragment root not at depth zero:\n%s", out)
+	}
+	if !strings.Contains(out, "]   site.queue.wait") {
+		t.Errorf("queue wait not nested under fragment root:\n%s", out)
+	}
+}

@@ -14,10 +14,14 @@ import (
 //	/metrics       Prometheus text (append ?format=json for expvar-style)
 //	/healthz       liveness probe
 //	/statusz       human-readable site summary
+//	/debug/traces  flight recorder JSON (?slow=25ms, ?error=1, ?id=<hex>, ?limit=n)
 //	/debug/pprof/  standard Go profiling endpoints
 func debugMux(site *grid.Site, reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())
+	if rec := site.Recorder(); rec != nil {
+		mux.Handle("/debug/traces", rec.Handler())
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -23,7 +23,9 @@ func TestDebugMux(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	site.Instrument(reg, nil)
-	if _, err := site.Prepare(0, "h1", 0, period.Time(period.Hour), 4, period.Hour); err != nil {
+	site.SetRecorder(obs.NewRecorder(obs.RecorderConfig{}))
+	tc := obs.SpanContext{TraceID: 0xfeed, SpanID: 0xbeef}
+	if _, err := site.PrepareTraced(tc, 0, "h1", 0, period.Time(period.Hour), 4, period.Hour); err != nil {
 		t.Fatal(err)
 	}
 	if err := site.Commit(0, "h1"); err != nil {
@@ -70,5 +72,21 @@ func TestDebugMux(t *testing.T) {
 	}
 	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	code, body = get("/debug/traces")
+	if code != 200 {
+		t.Errorf("/debug/traces = %d", code)
+	}
+	for _, want := range []string{`"site.prepare"`, `"000000000000feed"`, `"remote": true`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/traces missing %s in:\n%s", want, body)
+		}
+	}
+	// The untraced commit recorded nothing; only the traced prepare is there.
+	if got := strings.Count(body, `"root"`); got != 1 {
+		t.Errorf("/debug/traces holds %d traces, want 1:\n%s", got, body)
+	}
+	if code, body := get("/debug/traces?id=zzz"); code != 400 {
+		t.Errorf("/debug/traces?id=zzz = %d %q, want 400", code, body)
 	}
 }

@@ -72,8 +72,9 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-every", 5*time.Minute, "auto-checkpoint cadence with -wal (0 disables)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 disables; reclaims sockets from half-dead brokers)")
 		noEpochs     = flag.Bool("suppress-epochs", false, "omit epoch metadata from replies, emulating a pre-epoch site binary (callers' availability caches stay cold)")
-		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/pprof (disabled when empty)")
+		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/traces, /debug/pprof (disabled when empty)")
 		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
+		traceCap     = flag.Int("trace-capacity", obs.DefaultRecorderCapacity, "flight recorder capacity in traces (the recorder is always on; this bounds its memory)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
+
+	// The flight recorder is always on: traced requests cost one ring slot
+	// each, and after an incident /debug/traces already holds the story.
+	site.SetRecorder(obs.NewRecorder(obs.RecorderConfig{Capacity: *traceCap}))
 
 	srv, err := wire.NewServer(site)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	loadgen -mode write -wal /tmp/j   # group-commit write throughput
 //	loadgen -mode chaos               # broker over TCP with one site hung
 //	loadgen -mode cache               # availability cache vs raw RPC probes
+//	loadgen -mode trace-overhead      # always-on flight recorder vs tracing off
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
@@ -20,6 +21,15 @@
 // against an uncached broker and against one with the epoch-keyed
 // availability cache on. The report shows both phases' throughput and
 // latency plus the cached phase's hit rate and the overall speedup.
+//
+// -mode trace-overhead boots the same three-site TCP federation and runs the
+// closed-loop ProbeAll workload with tracing disabled end to end (NoTrace
+// broker, recorder-less sites) and with the default always-on flight
+// recorder capturing every request's spans on both sides of the wire. The
+// two configurations alternate over five rounds and the report compares
+// median throughput, so host noise biases neither side. The report's
+// overheadPercent is the throughput the recorder costs; the always-on
+// design budget is 5%.
 //
 // Each mode runs the client counts given by -clients back to back against a
 // fresh seeded site, so the numbers across counts are comparable. The
@@ -226,7 +236,7 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, or cache")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, or trace-overhead")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
@@ -242,6 +252,9 @@ func main() {
 		return
 	case "cache":
 		cacheMain(*servers, *slotSize, *slots, *chaosClients, *cacheWindows, *dur, *callTimeout, *out)
+		return
+	case "trace-overhead":
+		traceOverheadMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *out)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)

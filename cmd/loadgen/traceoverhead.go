@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coalloc/internal/grid"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+	"coalloc/internal/wire"
+)
+
+// tracePhase is the measurement for one half of a trace-overhead run: the
+// same closed-loop probe workload with the flight recorder off, then on.
+type tracePhase struct {
+	Phase     string  `json:"phase"` // "recorder-off" or "recorder-on"
+	Round     int     `json:"round"`
+	Seconds   float64 `json:"seconds"`
+	ProbeOps  int64   `json:"probeOps"`
+	ProbeRate float64 `json:"probeOpsPerSec"`
+	ProbeP50  float64 `json:"probeP50Micros"`
+	ProbeP99  float64 `json:"probeP99Micros"`
+	// Recorder counters; zero for the recorder-off phase.
+	TracesSeen     uint64 `json:"tracesSeen,omitempty"`
+	TracesRetained int    `json:"tracesRetained,omitempty"`
+}
+
+// traceResult is a whole trace-overhead run. OverheadPercent compares the
+// median throughput across rounds: positive means recorder-on was slower.
+// The phases alternate off/on within each round so slow drift on the host
+// (GC of neighbors, thermal noise) biases neither side; the median damps
+// the rest. The always-on design budget is 5%.
+type traceResult struct {
+	Mode            string       `json:"mode"`
+	Sites           int          `json:"sites"`
+	Servers         int          `json:"serversPerSite"`
+	Clients         int          `json:"clients"`
+	Rounds          int          `json:"rounds"`
+	CallTimeout     string       `json:"callTimeout"`
+	Phases          []tracePhase `json:"phases"`
+	MedianOffRate   float64      `json:"medianOffOpsPerSec"`
+	MedianOnRate    float64      `json:"medianOnOpsPerSec"`
+	OverheadPercent float64      `json:"overheadPercent"`
+}
+
+// median of a small sample; mutates s.
+func median(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// traceMember is one federation member: a real site behind a real wire
+// server on loopback TCP, so the recorder's cost is measured relative to
+// genuine RPC round trips — the deployment it is always-on in.
+type traceMember struct {
+	site   *grid.Site
+	server *wire.Server
+	client *wire.Client
+}
+
+func (m *traceMember) close() {
+	if m.client != nil {
+		m.client.Close()
+	}
+	if m.server != nil {
+		m.server.Close()
+	}
+}
+
+func startTraceMember(name string, servers int, slotSize int64, slots int, cfg wire.ClientConfig) (*traceMember, error) {
+	site, err := seedSite(name, servers, slotSize, slots)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer(site)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go srv.Serve(l)
+	m := &traceMember{site: site, server: srv}
+	m.client, err = wire.DialConfig("tcp", l.Addr().String(), cfg)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// traceLoad drives closed-loop ProbeAll clients; with the recorder on,
+// every round records a full trace (root, per-site probe spans, and each
+// site's remote fragments over the wire).
+func traceLoad(phase string, br *grid.Broker, clients int, dur time.Duration) tracePhase {
+	base := period.Time(int64(period.Hour))
+	var ops int64
+	lat := &sampler{}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			for i := 0; !stop.Load(); i++ {
+				w := base.Add(period.Duration(i%8) * 15 * period.Minute)
+				t0 := time.Now()
+				br.ProbeAll(0, w, w.Add(period.Hour))
+				lat.observe(time.Since(t0))
+				n++
+			}
+			atomic.AddInt64(&ops, n)
+		}()
+	}
+	t0 := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	p := tracePhase{
+		Phase:     phase,
+		Seconds:   elapsed,
+		ProbeOps:  ops,
+		ProbeRate: float64(ops) / elapsed,
+		ProbeP50:  lat.percentile(0.50),
+		ProbeP99:  lat.percentile(0.99),
+	}
+	if rec := br.Recorder(); rec != nil {
+		st := rec.Stats()
+		p.TracesSeen, p.TracesRetained = st.Seen, st.Retained
+	}
+	return p
+}
+
+// runTraceOverhead measures what always-on tracing costs: the same
+// closed-loop ProbeAll workload over one real-TCP federation, first with
+// the flight recorder disabled end to end (NoTrace broker, recorder-less
+// sites), then with the default always-on configuration recording every
+// request on both sides of the wire.
+func runTraceOverhead(servers int, slotSize int64, slots, clients int, dur, callTimeout time.Duration) (traceResult, error) {
+	const sites = 3
+	cfg := wire.ClientConfig{DialTimeout: callTimeout, CallTimeout: callTimeout}
+	members := make([]*traceMember, 0, sites)
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	conns := make([]grid.Conn, 0, sites)
+	for i := 0; i < sites; i++ {
+		m, err := startTraceMember(fmt.Sprintf("site-%d", i), servers, slotSize, slots, cfg)
+		if err != nil {
+			return traceResult{}, err
+		}
+		members = append(members, m)
+		conns = append(conns, m.client)
+	}
+
+	// Five alternating rounds: single-shot off/on comparisons on a busy
+	// host swing by more than the recorder's whole cost, and the median of
+	// five damps what alternation doesn't cancel.
+	const rounds = 5
+	res := traceResult{
+		Mode:        "trace-overhead",
+		Sites:       sites,
+		Servers:     servers,
+		Clients:     clients,
+		Rounds:      rounds,
+		CallTimeout: callTimeout.String(),
+	}
+	var offRates, onRates []float64
+	for round := 1; round <= rounds; round++ {
+		for _, phase := range []string{"recorder-off", "recorder-on"} {
+			tracing := phase == "recorder-on"
+			for _, m := range members {
+				if tracing {
+					m.site.SetRecorder(obs.NewRecorder(obs.RecorderConfig{}))
+				} else {
+					m.site.SetRecorder(nil)
+				}
+			}
+			br, err := grid.NewBroker(grid.BrokerConfig{
+				Name:    "loadgen",
+				NoTrace: !tracing,
+			}, conns...)
+			if err != nil {
+				return traceResult{}, err
+			}
+			p := traceLoad(phase, br, clients, dur/2)
+			p.Round = round
+			res.Phases = append(res.Phases, p)
+			if tracing {
+				onRates = append(onRates, p.ProbeRate)
+			} else {
+				offRates = append(offRates, p.ProbeRate)
+			}
+		}
+	}
+	res.MedianOffRate = median(offRates)
+	res.MedianOnRate = median(onRates)
+	if res.MedianOffRate > 0 {
+		res.OverheadPercent = 100 * (res.MedianOffRate - res.MedianOnRate) / res.MedianOffRate
+	}
+	return res, nil
+}
+
+// traceOverheadMain implements -mode trace-overhead and prints the result
+// as JSON.
+func traceOverheadMain(servers int, slotSize int64, slots, clients int, dur, callTimeout time.Duration, out string) {
+	res, err := runTraceOverhead(servers, slotSize, slots, clients, dur, callTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	for _, p := range res.Phases {
+		extra := ""
+		if p.TracesSeen > 0 {
+			extra = fmt.Sprintf(" traces=%d retained=%d", p.TracesSeen, p.TracesRetained)
+		}
+		fmt.Fprintf(os.Stderr, "trace r%d %-12s clients=%d probe=%.0f/s (p50 %.0fus p99 %.0fus)%s\n",
+			p.Round, p.Phase, clients, p.ProbeRate, p.ProbeP50, p.ProbeP99, extra)
+	}
+	fmt.Fprintf(os.Stderr, "trace overhead: %.1f%% (median off %.0f/s vs on %.0f/s over %d rounds)\n",
+		res.OverheadPercent, res.MedianOffRate, res.MedianOnRate, res.Rounds)
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMedianOfSmallSamples(t *testing.T) {
+	if m := median(nil); m != 0 {
+		t.Fatalf("median(nil) = %v", m)
+	}
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1}); m != 4 {
+		t.Fatalf("median even = %v, want upper middle 4", m)
+	}
+}
+
+// TestRunTraceOverheadAlternatesPhases runs the benchmark harness itself
+// (tiny duration) and pins its shape: off/on alternated each round, both
+// phases making progress, traces recorded only when the recorder is on.
+func TestRunTraceOverheadAlternatesPhases(t *testing.T) {
+	res, err := runTraceOverhead(8, 900, 96, 2, 400*time.Millisecond, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 || len(res.Phases) != 10 {
+		t.Fatalf("rounds=%d phases=%d, want 5 rounds of off+on", res.Rounds, len(res.Phases))
+	}
+	for i, p := range res.Phases {
+		want := "recorder-off"
+		if i%2 == 1 {
+			want = "recorder-on"
+		}
+		if p.Phase != want {
+			t.Fatalf("phase[%d] = %q, want %q", i, p.Phase, want)
+		}
+		if p.Round != i/2+1 {
+			t.Fatalf("phase[%d] round = %d, want %d", i, p.Round, i/2+1)
+		}
+		if p.ProbeOps == 0 {
+			t.Fatalf("phase[%d] made no progress", i)
+		}
+		if on := p.Phase == "recorder-on"; (p.TracesSeen > 0) != on {
+			t.Fatalf("phase[%d] tracesSeen=%d with recorder %v", i, p.TracesSeen, on)
+		}
+	}
+	if res.MedianOffRate <= 0 || res.MedianOnRate <= 0 {
+		t.Fatalf("medians not computed: %+v", res)
+	}
+}

@@ -234,6 +234,26 @@ func NewTracingObserver(reg *Registry, tr Tracer) *SchedulerObs {
 	return core.NewTracingObserver(reg, tr)
 }
 
+// Request tracing: each request's causal span tree, recorded by an
+// always-on per-process flight recorder with biased retention (errored and
+// slow traces outlive healthy traffic). Install a recorder with
+// Site.SetRecorder / BrokerConfig, read it back with Recorder.Traces or
+// gridd's /debug/traces endpoint, and render it with `gridctl trace`.
+type (
+	SpanContext    = obs.SpanContext
+	ActiveSpan     = obs.ActiveSpan
+	Span           = obs.Span
+	Trace          = obs.Trace
+	TraceQuery     = obs.TraceQuery
+	TraceRecorder  = obs.Recorder
+	RecorderConfig = obs.RecorderConfig
+	RecorderStats  = obs.RecorderStats
+)
+
+// NewTraceRecorder builds a flight recorder; the zero config takes the
+// defaults (256 traces, 25ms slow threshold).
+func NewTraceRecorder(cfg RecorderConfig) *TraceRecorder { return obs.NewRecorder(cfg) }
+
 // Per-layer statistics snapshots.
 type (
 	// SchedulerStats are the lifetime counters of one Scheduler.

@@ -130,6 +130,13 @@ type BrokerConfig struct {
 	Registry *obs.Registry
 	// Tracer, if non-nil, receives per-request prepare/commit/abort events.
 	Tracer obs.Tracer
+	// Recorder receives the broker's completed request traces. When nil,
+	// NewBroker creates one with default retention unless NoTrace is set:
+	// the flight recorder is always on, cheap enough to leave enabled.
+	Recorder *obs.Recorder
+	// NoTrace disables span recording entirely — the overhead baseline for
+	// benchmarks, not a production setting.
+	NoTrace bool
 }
 
 func (c *BrokerConfig) applyDefaults() {
@@ -261,6 +268,10 @@ type Broker struct {
 	m      *brokerMetrics
 	cache  *probeCache // nil unless cfg.ProbeCache
 	tracer obs.Tracer
+	rec    *obs.Recorder // flight recorder; nil only under cfg.NoTrace
+	// probeAttrs[i][source] is the prebuilt read-only attr slice for site
+	// i's broker.probe span with that answer source; see NewBroker.
+	probeAttrs []map[string][]slog.Attr
 
 	// epoch makes hold IDs unique across broker restarts: a restarted
 	// broker starts its counter at zero again, and without a per-process
@@ -304,8 +315,24 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 		health: health,
 		m:      newBrokerMetrics(cfg.Registry),
 		tracer: cfg.Tracer,
+		rec:    cfg.Recorder,
 		epoch:  newEpoch(),
 		rng:    mrand.New(mrand.NewSource(time.Now().UnixNano())),
+	}
+	if b.rec == nil && !cfg.NoTrace {
+		b.rec = obs.NewRecorder(obs.RecorderConfig{})
+	}
+	// Precompute the {site, source} attr slice for every probe outcome:
+	// probes are the hot path, and Annotate adopts a full cap==len slice
+	// without copying, so annotating a probe span allocates nothing.
+	b.probeAttrs = make([]map[string][]slog.Attr, len(ordered))
+	for i, c := range ordered {
+		site := slog.String("site", c.Name())
+		m := make(map[string][]slog.Attr, 5)
+		for _, src := range []string{probeSrcRPC, probeSrcHit, probeSrcMiss, probeSrcCoalesced, "breaker_skip"} {
+			m[src] = []slog.Attr{site, slog.String("source", src)}
+		}
+		b.probeAttrs[i] = m
 	}
 	if cfg.ProbeCache {
 		b.cache = newProbeCache(cfg.CacheBucket, cfg.CacheEntries, b.m)
@@ -400,18 +427,28 @@ func (b *Broker) siteFailed(c Conn, err error) {
 
 // Health reports each site's breaker state in prepare order.
 func (b *Broker) Health() []SiteHealth {
+	now := b.now()
 	out := make([]SiteHealth, 0, len(b.sites))
 	for _, c := range b.sites {
 		sh := SiteHealth{Site: c.Name(), State: "closed"}
 		if h := b.healthFor(c); h != nil {
-			state, fails := h.snapshot()
+			state, fails, openUntil := h.snapshot()
 			sh.State = breakerStateName(state)
 			sh.Failures = fails
+			if state == breakerOpen {
+				if remaining := openUntil.Sub(now); remaining > 0 {
+					sh.Cooldown = remaining
+				}
+			}
 		}
 		out = append(out, sh)
 	}
 	return out
 }
+
+// Recorder returns the broker's flight recorder; nil when the broker was
+// built with NoTrace.
+func (b *Broker) Recorder() *obs.Recorder { return b.rec }
 
 // event emits a tracer event if a tracer is configured.
 func (b *Broker) event(name string, attrs ...slog.Attr) {
@@ -458,9 +495,15 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	b.mu.Lock()
 	b.stats.Requests++
 	b.mu.Unlock()
+	// The root span of the request's trace: every ladder attempt, per-site
+	// RPC, and (across the wire) site-side span parents under it.
+	root := b.rec.StartSpan("broker.coallocate",
+		slog.Int64("job", req.ID),
+		slog.Int("servers", req.Servers))
+	defer root.End()
 	if b.m != nil {
 		b.m.requests.Inc()
-		defer b.m.requestLatency.Since(time.Now())
+		defer b.m.requestLatency.SinceTrace(time.Now(), root.TraceID())
 	}
 	b.event(obs.EventSubmit,
 		slog.Int64("job", req.ID),
@@ -475,7 +518,12 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	var lastErr error
 	for attempt := 1; attempt <= b.cfg.MaxAttempts; attempt++ {
 		end := start.Add(req.Duration)
-		alloc, err := b.tryWindow(now, start, end, req.Servers, attempt)
+		att := root.StartChild("broker.attempt",
+			slog.Int("attempt", attempt),
+			slog.Int64("window_start", int64(start)))
+		alloc, err := b.tryWindow(att, now, start, end, req.Servers, attempt)
+		att.Fail(err)
+		att.End()
 		if err == nil {
 			b.mu.Lock()
 			b.stats.Granted++
@@ -483,6 +531,7 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 			if b.m != nil {
 				b.m.granted.Inc()
 			}
+			root.Annotate(slog.String("hold", alloc.HoldID), slog.Int("attempts", attempt))
 			b.event(obs.EventAccept,
 				slog.Int64("job", req.ID),
 				slog.String("hold", alloc.HoldID),
@@ -500,6 +549,7 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 			if b.m != nil {
 				b.m.partials.Inc()
 			}
+			root.Fail(err)
 			b.event(obs.EventReject,
 				slog.Int64("job", req.ID),
 				slog.String("reason", "partial commit"),
@@ -517,6 +567,7 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 			if b.m != nil {
 				b.m.allUnreachable.Inc()
 			}
+			root.Fail(err)
 			b.event(obs.EventReject,
 				slog.Int64("job", req.ID),
 				slog.String("reason", "all sites unreachable"),
@@ -538,6 +589,7 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	if b.m != nil {
 		b.m.rejected.Inc()
 	}
+	root.Fail(fmt.Errorf("%w after %d attempts", ErrNoCapacity, b.cfg.MaxAttempts))
 	b.event(obs.EventReject,
 		slog.Int64("job", req.ID),
 		slog.String("reason", "no window with sufficient capacity"),
@@ -574,6 +626,15 @@ func (b *Broker) fanOut(f func(i int)) {
 	wg.Wait()
 }
 
+// probeAttr returns the prebuilt probe span attrs for site i, or nil on a
+// broker assembled without NewBroker (test fixtures).
+func (b *Broker) probeAttr(i int, src string) []slog.Attr {
+	if i >= len(b.probeAttrs) {
+		return nil
+	}
+	return b.probeAttrs[i][src]
+}
+
 // breakerOpenFor reports (and accounts) whether the site's circuit is open,
 // failing the call fast instead of waiting out a timeout.
 func (b *Broker) breakerOpenFor(c Conn) error {
@@ -594,15 +655,31 @@ func (b *Broker) breakerOpenFor(c Conn) error {
 // slow every probe round to its timeout. With the availability cache
 // enabled, repeat probes of an unchanged site are answered locally and
 // concurrent identical probes share one RPC.
-func (b *Broker) probeSites(now, start, end period.Time) []Avail {
+func (b *Broker) probeSites(sp *obs.ActiveSpan, now, start, end period.Time) []Avail {
 	avail := make([]Avail, len(b.sites))
 	b.fanOut(func(i int) {
 		c := b.sites[i]
+		// Reserve the probe span's identity up front (so the site's remote
+		// fragment can parent under it) but record the span only once the
+		// outcome is known: RecordAs into the trace's arena keeps the
+		// per-probe tracing cost allocation-free on this hot path.
+		pc := sp.ChildContext()
+		var t0 time.Time
+		if pc.Valid() {
+			t0 = time.Now()
+		}
 		if err := b.breakerOpenFor(c); err != nil {
+			sp.RecordAs(pc, "broker.probe", t0, t0, err, b.probeAttr(i, "breaker_skip")...)
 			avail[i] = Avail{Conn: c, Err: err}
 			return
 		}
-		r, shared, err := b.cachedProbe(c, now, start, end)
+		r, src, err := b.cachedProbe(c, pc, now, start, end)
+		if pc.Valid() {
+			sp.RecordAs(pc, "broker.probe", t0, time.Now(), err, b.probeAttr(i, src)...)
+		}
+		// A cache hit or a coalesced follower did not perform the round trip
+		// itself; breaker accounting belongs to the leader alone.
+		shared := src == probeSrcHit || src == probeSrcCoalesced
 		if err != nil {
 			avail[i] = Avail{Conn: c, Err: err}
 			if b.m != nil {
@@ -621,30 +698,40 @@ func (b *Broker) probeSites(now, start, end period.Time) []Avail {
 	return avail
 }
 
+// probe answer sources, annotated on every broker.probe span so a trace
+// shows why a probe was fast (hit, coalesced) or slow (rpc, miss).
+const (
+	probeSrcRPC       = "rpc"       // no cache configured: a plain round trip
+	probeSrcHit       = "hit"       // answered from the availability cache
+	probeSrcMiss      = "miss"      // cache miss: this caller led the RPC
+	probeSrcCoalesced = "coalesced" // joined another caller's in-flight RPC
+)
+
 // cachedProbe answers one site probe through the availability cache: a
 // valid entry short-circuits the RPC, a miss joins the single-flight group
 // for the exact request, and only the flight leader actually talks to the
-// site. shared reports that this caller did not perform the round trip
-// itself (cache hit or coalesced follower) — breaker accounting is the
-// leader's job alone, otherwise one timeout would be counted once per
-// waiter and trip the breaker in a single round.
-func (b *Broker) cachedProbe(c Conn, now, start, end period.Time) (r ProbeResult, shared bool, err error) {
+// site — carrying tc so the site's spans parent under the probe span. The
+// returned source (one of the probeSrc constants) tells the caller whether
+// this goroutine performed the round trip itself: a hit or a coalesced
+// follower must not do breaker accounting, otherwise one timeout would be
+// counted once per waiter and trip the breaker in a single round.
+func (b *Broker) cachedProbe(c Conn, tc obs.SpanContext, now, start, end period.Time) (r ProbeResult, src string, err error) {
 	pc := b.cache
 	if pc == nil {
-		r, err = c.Probe(now, start, end)
-		return r, false, err
+		r, err = connProbe(c, tc, now, start, end)
+		return r, probeSrcRPC, err
 	}
 	site := c.Name()
 	if e, ok := pc.lookup(site, kindProbe, now, start, end); ok {
-		return e.probe, true, nil
+		return e.probe, probeSrcHit, nil
 	}
 	key := flightKey{site: site, kind: kindProbe, now: now, start: start, end: end}
 	fl, leader := pc.join(key)
 	if !leader {
 		<-fl.done
-		return fl.probe, true, fl.err
+		return fl.probe, probeSrcCoalesced, fl.err
 	}
-	r, err = c.Probe(now, start, end)
+	r, err = connProbe(c, tc, now, start, end)
 	if err == nil {
 		if dropped := pc.observe(site, r.Epoch); dropped > 0 {
 			b.event(obs.EventCacheInvalidate,
@@ -656,7 +743,7 @@ func (b *Broker) cachedProbe(c Conn, now, start, end period.Time) (r ProbeResult
 	}
 	fl.probe, fl.err = r, err
 	pc.finish(key, fl)
-	return r, false, err
+	return r, probeSrcMiss, err
 }
 
 // cachedRange is cachedProbe's twin for the per-site range search.
@@ -717,12 +804,13 @@ func (b *Broker) CacheStats() CacheStats {
 	return b.cache.statsSnapshot()
 }
 
-// tryWindow runs one probe/prepare/commit round for a fixed window.
-func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (MultiAllocation, error) {
+// tryWindow runs one probe/prepare/commit round for a fixed window. sp is
+// the ladder-attempt span the round's per-site spans parent under.
+func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, total, attempt int) (MultiAllocation, error) {
 	if b.m != nil {
-		defer b.m.windowLatency.Since(time.Now())
+		defer b.m.windowLatency.SinceTrace(time.Now(), sp.TraceID())
 	}
-	avail := b.probeSites(now, start, end)
+	avail := b.probeSites(sp, now, start, end)
 
 	// When not a single site answered, the grid is not out of capacity —
 	// it is unreachable. Surface that as its own error so CoAllocate can
@@ -751,7 +839,13 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	granted := make([]GrantedShare, 0, len(shares))
 	prepared := make([]Conn, 0, len(shares))
 	for _, sh := range shares {
-		servers, err := sh.Conn.Prepare(now, holdID, start, end, sh.Servers, b.cfg.Lease)
+		pps := sp.StartChild("broker.prepare",
+			slog.String("site", sh.Conn.Name()),
+			slog.String("hold", holdID),
+			slog.Int("servers", sh.Servers))
+		servers, err := connPrepare(sh.Conn, pps.Context(), now, holdID, start, end, sh.Servers, b.cfg.Lease)
+		pps.Fail(err)
+		pps.End()
 		// Prepare is a mutation whether it succeeded or not (a timed-out one
 		// may have landed), so the site's cached availability is void either
 		// way — and a prepare answered under a stale idea of the site's
@@ -771,7 +865,12 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 			}
 			// Phase 1 failed: abort everything prepared so far.
 			for _, p := range aborts {
-				_ = p.Abort(now, holdID) // best effort; leases back us up
+				as := sp.StartChild("broker.abort",
+					slog.String("site", p.Name()),
+					slog.String("hold", holdID),
+					slog.String("cause", "prepare_failed"))
+				as.Fail(connAbort(p, as.Context(), now, holdID)) // best effort; leases back us up
+				as.End()
 				b.invalidateSiteCache(p)
 				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
 			}
@@ -804,8 +903,12 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 	var committedConns []Conn
 	var commitErr error
 	for _, c := range prepared {
+		cs := sp.StartChild("broker.commit",
+			slog.String("site", c.Name()),
+			slog.String("hold", holdID))
 		var err error
 		backoff := b.cfg.RetryBackoff
+		deliveries := 0
 		for r := 0; r < retries; r++ {
 			if r > 0 && backoff > 0 {
 				// Exponential backoff with jitter between re-deliveries: a
@@ -815,11 +918,17 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 				b.pause(b.jitter(backoff))
 				backoff *= 2
 			}
-			if err = c.Commit(now, holdID); err == nil {
+			deliveries++
+			if err = connCommit(c, cs.Context(), now, holdID); err == nil {
 				break
 			}
 			b.siteFailed(c, err)
 		}
+		if deliveries > 1 {
+			cs.Annotate(slog.Int("retries", deliveries-1))
+		}
+		cs.Fail(err)
+		cs.End()
 		b.invalidateSiteCache(c)
 		if err != nil {
 			failed = append(failed, c.Name())
@@ -839,7 +948,14 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 		// (or the window closing) still reclaims it.
 		var aborted []string
 		for _, c := range committedConns {
-			if err := c.Abort(now, holdID); err == nil {
+			as := sp.StartChild("broker.abort",
+				slog.String("site", c.Name()),
+				slog.String("hold", holdID),
+				slog.String("cause", "compensation"))
+			err := connAbort(c, as.Context(), now, holdID)
+			as.Fail(err)
+			as.End()
+			if err == nil {
 				aborted = append(aborted, c.Name())
 				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", c.Name()))
 			}
@@ -865,7 +981,9 @@ func (b *Broker) tryWindow(now, start, end period.Time, total, attempt int) (Mul
 // ProbeAll returns each site's availability for a window — the cross-site
 // range search (§4.2) exposed to users for their own post-processing.
 func (b *Broker) ProbeAll(now, start, end period.Time) []Avail {
-	return b.probeSites(now, start, end)
+	root := b.rec.StartSpan("broker.probe_all")
+	defer root.End()
+	return b.probeSites(root, now, start, end)
 }
 
 // SiteRange is one site's answer in a cross-site range search: the idle

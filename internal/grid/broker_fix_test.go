@@ -26,7 +26,7 @@ func TestTryWindowZeroCommitRetriesStillCommits(t *testing.T) {
 		},
 		sites: []Conn{LocalConn{Site: s}},
 	}
-	alloc, err := b.tryWindow(0, 0, period.Time(period.Hour), 2, 1)
+	alloc, err := b.tryWindow(nil, 0, 0, period.Time(period.Hour), 2, 1)
 	if err != nil {
 		t.Fatalf("tryWindow with zero CommitRetries: %v", err)
 	}

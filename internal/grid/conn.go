@@ -1,6 +1,9 @@
 package grid
 
-import "coalloc/internal/period"
+import (
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
 
 // ProbeResult couples a site's availability for a window with its total
 // capacity, so one probe round-trip gives a strategy both numbers — the
@@ -55,6 +58,57 @@ type RangeConn interface {
 	RangeView(now, start, end period.Time) (RangeResult, error)
 }
 
+// TracedConn is the optional Conn extension for connections that can carry
+// trace context to the site, so the site's own spans (view lookup, queue
+// wait, WAL flush) parent correctly under the broker's spans. Like
+// RangeConn, it is discovered by type assertion: a broker talking to an
+// old connection falls back to the untraced methods, and the request
+// simply has no site-side spans.
+type TracedConn interface {
+	Conn
+	// ProbeTraced is Probe carrying the caller's span context.
+	ProbeTraced(tc obs.SpanContext, now, start, end period.Time) (ProbeResult, error)
+	// PrepareTraced is Prepare carrying the caller's span context.
+	PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error)
+	// CommitTraced is Commit carrying the caller's span context.
+	CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error
+	// AbortTraced is Abort carrying the caller's span context.
+	AbortTraced(tc obs.SpanContext, now period.Time, holdID string) error
+}
+
+// connProbe routes a probe through the traced path when both sides can:
+// the connection implements TracedConn and the caller actually has a span.
+func connProbe(c Conn, tc obs.SpanContext, now, start, end period.Time) (ProbeResult, error) {
+	if t, ok := c.(TracedConn); ok && tc.Valid() {
+		return t.ProbeTraced(tc, now, start, end)
+	}
+	return c.Probe(now, start, end)
+}
+
+// connPrepare is connProbe's twin for phase 1.
+func connPrepare(c Conn, tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	if t, ok := c.(TracedConn); ok && tc.Valid() {
+		return t.PrepareTraced(tc, now, holdID, start, end, servers, lease)
+	}
+	return c.Prepare(now, holdID, start, end, servers, lease)
+}
+
+// connCommit is connProbe's twin for the commit decision.
+func connCommit(c Conn, tc obs.SpanContext, now period.Time, holdID string) error {
+	if t, ok := c.(TracedConn); ok && tc.Valid() {
+		return t.CommitTraced(tc, now, holdID)
+	}
+	return c.Commit(now, holdID)
+}
+
+// connAbort is connProbe's twin for the abort decision.
+func connAbort(c Conn, tc obs.SpanContext, now period.Time, holdID string) error {
+	if t, ok := c.(TracedConn); ok && tc.Valid() {
+		return t.AbortTraced(tc, now, holdID)
+	}
+	return c.Abort(now, holdID)
+}
+
 // LocalConn adapts an in-process *Site to the Conn interface.
 type LocalConn struct {
 	Site *Site
@@ -103,3 +157,34 @@ func (l LocalConn) Commit(now period.Time, holdID string) error {
 func (l LocalConn) Abort(now period.Time, holdID string) error {
 	return l.Site.Abort(now, holdID)
 }
+
+// ProbeTraced implements TracedConn.
+func (l LocalConn) ProbeTraced(tc obs.SpanContext, now, start, end period.Time) (ProbeResult, error) {
+	n, epoch, siteNow := l.Site.ProbeViewTraced(tc, now, start, end)
+	return ProbeResult{
+		Available: n,
+		Capacity:  l.Site.Servers(),
+		Epoch:     epoch,
+		SiteNow:   siteNow,
+	}, nil
+}
+
+// PrepareTraced implements TracedConn.
+func (l LocalConn) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return l.Site.PrepareTraced(tc, now, holdID, start, end, servers, lease)
+}
+
+// CommitTraced implements TracedConn.
+func (l LocalConn) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	return l.Site.CommitTraced(tc, now, holdID)
+}
+
+// AbortTraced implements TracedConn.
+func (l LocalConn) AbortTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	return l.Site.AbortTraced(tc, now, holdID)
+}
+
+var (
+	_ RangeConn  = LocalConn{}
+	_ TracedConn = LocalConn{}
+)

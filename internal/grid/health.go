@@ -133,11 +133,12 @@ func (h *siteHealth) failure(now time.Time, threshold int, base, max time.Durati
 	return false
 }
 
-// snapshot returns the current state for debugging/stats.
-func (h *siteHealth) snapshot() (state int, fails int) {
+// snapshot returns the current state for debugging/stats. openUntil is
+// meaningful only while the state is open.
+func (h *siteHealth) snapshot() (state int, fails int, openUntil time.Time) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.state, h.fails
+	return h.state, h.fails, h.openUntil
 }
 
 // SiteHealth describes one site's breaker state for operators.
@@ -145,6 +146,10 @@ type SiteHealth struct {
 	Site     string
 	State    string // "closed", "open", or "half-open"
 	Failures int    // consecutive failures while closed
+	// Cooldown is how much longer an open circuit stays closed to traffic
+	// before the next half-open trial is admitted; zero unless State is
+	// "open".
+	Cooldown time.Duration
 }
 
 // breakerStateName renders a breaker state.

@@ -147,7 +147,7 @@ func TestBreakerStateMachine(t *testing.T) {
 				default:
 					t.Fatalf("step %d: unknown op %q", i, st.op)
 				}
-				state, fails := h.snapshot()
+				state, fails, _ := h.snapshot()
 				if got := breakerStateName(state); got != st.wantState {
 					t.Fatalf("step %d (%s at +%v): state = %q, want %q", i, st.op, st.at, got, st.wantState)
 				}

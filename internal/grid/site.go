@@ -66,11 +66,15 @@ const maxWriteBatch = 64
 
 // pendingWrite is one queued mutation: exec runs under the site lock and may
 // stage journal records; err carries exec's result (or the batch's journal
-// failure) back to the submitter once done is closed.
+// failure) back to the submitter once done is closed. sp, when non-nil, is
+// the submitter's trace span: the batch leader records the queue wait and
+// the group-commit flush under it.
 type pendingWrite struct {
-	exec func() error
-	err  error
-	done chan struct{}
+	exec     func() error
+	err      error
+	done     chan struct{}
+	sp       *obs.ActiveSpan
+	enqueued time.Time
 }
 
 // siteView is one published epoch: the calendar's searchable state plus the
@@ -84,6 +88,10 @@ type siteView struct {
 	// may reuse a cached answer for as long as the epoch stands still.
 	epoch                                 uint64
 	prepared, committed, aborted, expired uint64
+	// lookupAttrs is the prebuilt cap==len attr slice for spans answered
+	// from this view; the site and epoch are fixed per view, so probes on
+	// the lock-free read path annotate their span without allocating.
+	lookupAttrs []slog.Attr
 }
 
 // Site is one administrative domain: a named pool of servers managed by the
@@ -101,6 +109,16 @@ type Site struct {
 	// stay allocated for the full job duration.
 	committedHolds map[string]Hold
 	tracer         obs.Tracer // optional; see Instrument
+
+	// recorder is the site's flight recorder; see SetRecorder. Requests
+	// arriving with trace context (TracedConn, wire trace fields) record
+	// their site-side spans — view lookup, queue wait, WAL flush — into it
+	// as fragments of the caller's trace. Atomic so it can be attached to a
+	// serving site without a lock on the read path.
+	recorder atomic.Pointer[obs.Recorder]
+	// spanAttrs is the read-only cap==len attr slice shared by every span
+	// fragment this site records; built once in NewSite.
+	spanAttrs []slog.Attr
 
 	// epochSalt offsets the calendar's mutation epoch in every published
 	// view. The calendar counter restarts at the recovered value after a
@@ -142,6 +160,10 @@ func NewSite(name string, cfg core.Config, now period.Time) (*Site, error) {
 		holds:          make(map[string]Hold),
 		committedHolds: make(map[string]Hold),
 		epochSalt:      newEpochSalt(),
+		// One shared cap==len attr slice for every span this site opens;
+		// Annotate copies on append, so sharing is safe and saves an
+		// allocation per request on the always-on tracing path.
+		spanAttrs: []slog.Attr{slog.String("site", name)},
 	}
 	s.publishLocked()
 	return s, nil
@@ -163,6 +185,21 @@ func newEpochSalt() uint64 {
 	return salt | 1
 }
 
+// SetRecorder attaches a flight recorder: from now on, requests carrying
+// trace context record their site-side spans into it. Safe to call on a
+// serving site.
+func (s *Site) SetRecorder(rec *obs.Recorder) { s.recorder.Store(rec) }
+
+// Recorder returns the attached flight recorder, or nil.
+func (s *Site) Recorder() *obs.Recorder { return s.recorder.Load() }
+
+// startSpan opens this site's local fragment of a remote trace. It returns
+// nil — and every span operation downstream degrades to a nil check — when
+// no recorder is attached or the request carried no trace context.
+func (s *Site) startSpan(tc obs.SpanContext, name string) *obs.ActiveSpan {
+	return s.recorder.Load().StartRemoteChild(tc, name, s.spanAttrs...)
+}
+
 // Name returns the site's identifier.
 func (s *Site) Name() string { return s.name }
 
@@ -179,13 +216,15 @@ func (s *Site) publishLocked() {
 		return
 	}
 	cv := s.sched.PublishView()
+	epoch := s.epochSalt + cv.Epoch()
 	s.view.Store(&siteView{
-		cal:       cv,
-		epoch:     s.epochSalt + cv.Epoch(),
-		prepared:  s.prepared,
-		committed: s.committed,
-		aborted:   s.aborted,
-		expired:   s.expired,
+		cal:         cv,
+		epoch:       epoch,
+		prepared:    s.prepared,
+		committed:   s.committed,
+		aborted:     s.aborted,
+		expired:     s.expired,
+		lookupAttrs: []slog.Attr{slog.String("site", s.name), slog.Uint64("epoch", epoch)},
 	})
 }
 
@@ -195,8 +234,16 @@ func (s *Site) publishLocked() {
 // flushing their journal records as one group commit, and publishing one
 // fresh view. Followers enqueue and block until their write's batch
 // completes. exec runs with s.mu held and must not block.
-func (s *Site) submitWrite(exec func() error) error {
-	w := &pendingWrite{exec: exec, done: make(chan struct{})}
+func (s *Site) submitWrite(exec func() error) error { return s.submitWriteTraced(nil, exec) }
+
+// submitWriteTraced is submitWrite with the submitter's span attached, so
+// the batch leader can record how long the write waited in the admission
+// queue and how long its group commit took.
+func (s *Site) submitWriteTraced(sp *obs.ActiveSpan, exec func() error) error {
+	w := &pendingWrite{exec: exec, done: make(chan struct{}), sp: sp}
+	if sp != nil {
+		w.enqueued = time.Now()
+	}
 	s.qmu.Lock()
 	s.queue = append(s.queue, w)
 	if s.qbusy {
@@ -235,9 +282,32 @@ func (s *Site) submitWrite(exec func() error) error {
 // append-before-acknowledge: no mutation is acknowledged unless its record
 // is durable.
 func (s *Site) runBatch(batch []*pendingWrite) {
+	traced := false
+	for _, w := range batch {
+		if w.sp != nil {
+			traced = true
+			break
+		}
+	}
 	s.mu.Lock()
+	if traced {
+		// Queue wait: from enqueue to the moment the batch holds the lock.
+		lockAt := time.Now()
+		for _, w := range batch {
+			if w.sp != nil {
+				w.sp.Record("site.queue.wait", w.enqueued, lockAt, slog.Int("batch", len(batch)))
+			}
+		}
+	}
 	for _, w := range batch {
 		w.err = w.exec()
+	}
+	// The group commit is one fsync shared by the batch; each traced write
+	// gets its own copy of the flush span (it paid the full wait either way).
+	flushing := traced && s.wal != nil && len(s.staged) > 0
+	var f0 time.Time
+	if flushing {
+		f0 = time.Now()
 	}
 	if err := s.flushStagedLocked(); err != nil {
 		for _, w := range batch {
@@ -247,6 +317,14 @@ func (s *Site) runBatch(batch []*pendingWrite) {
 		}
 	} else {
 		s.publishLocked()
+	}
+	if flushing {
+		f1 := time.Now()
+		for _, w := range batch {
+			if w.sp != nil {
+				w.sp.Record("site.wal.flush", f0, f1, slog.Int("batch", len(batch)))
+			}
+		}
 	}
 	s.mu.Unlock()
 	for _, w := range batch {
@@ -318,32 +396,68 @@ func (s *Site) Probe(now, start, end period.Time) int {
 // does not move the clock; a clock-moving probe rides the write queue and
 // reports the post-advance epoch.
 func (s *Site) ProbeView(now, start, end period.Time) (n int, epoch uint64, siteNow period.Time) {
+	return s.ProbeViewTraced(obs.SpanContext{}, now, start, end)
+}
+
+// ProbeViewTraced is ProbeView recording the site's side of the work as a
+// fragment of the caller's trace: a lock-free answer is a single
+// view-lookup span stamped with the answering epoch, a clock-moving
+// answer records its admission-queue ride.
+func (s *Site) ProbeViewTraced(tc obs.SpanContext, now, start, end period.Time) (n int, epoch uint64, siteNow period.Time) {
 	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		// The view lookup is the whole request here, so the fragment is one
+		// span admitted directly — no traceBuf, no handle — stamped with
+		// the epoch of the view that answered. Probes are the federation's
+		// hot path; this is the cheapest always-on tracing the recorder has.
+		if rec := s.recorder.Load(); rec != nil && tc.Valid() {
+			t0 := time.Now()
+			n = v.cal.Available(start, end)
+			rec.RecordRemoteSpan(tc, "site.probe", t0, time.Now(), v.lookupAttrs...)
+			return n, v.epoch, v.cal.Now()
+		}
 		return v.cal.Available(start, end), v.epoch, v.cal.Now()
 	}
-	_ = s.submitWrite(func() error {
+	sp := s.startSpan(tc, "site.probe")
+	sp.Annotate(slog.Bool("clock_advance", true))
+	_ = s.submitWriteTraced(sp, func() error {
 		s.advanceLocked(now)
 		n = s.sched.Available(start, end)
 		epoch = s.epochSalt + s.sched.MutationEpoch()
 		siteNow = s.sched.Now()
 		return nil
 	})
+	sp.End()
 	return n, epoch, siteNow
 }
 
 // RangeSearchView is RangeSearch extended with the same cacheability
 // metadata as ProbeView.
 func (s *Site) RangeSearchView(now, start, end period.Time) (feasible []period.Period, epoch uint64, siteNow period.Time) {
+	return s.RangeSearchViewTraced(obs.SpanContext{}, now, start, end)
+}
+
+// RangeSearchViewTraced is RangeSearchView as a fragment of the caller's
+// trace, mirroring ProbeViewTraced.
+func (s *Site) RangeSearchViewTraced(tc obs.SpanContext, now, start, end period.Time) (feasible []period.Period, epoch uint64, siteNow period.Time) {
 	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+		if rec := s.recorder.Load(); rec != nil && tc.Valid() {
+			t0 := time.Now()
+			feasible = v.cal.RangeSearch(start, end)
+			rec.RecordRemoteSpan(tc, "site.range", t0, time.Now(), v.lookupAttrs...)
+			return feasible, v.epoch, v.cal.Now()
+		}
 		return v.cal.RangeSearch(start, end), v.epoch, v.cal.Now()
 	}
-	_ = s.submitWrite(func() error {
+	sp := s.startSpan(tc, "site.range")
+	sp.Annotate(slog.Bool("clock_advance", true))
+	_ = s.submitWriteTraced(sp, func() error {
 		s.advanceLocked(now)
 		feasible = s.sched.RangeSearch(start, end)
 		epoch = s.epochSalt + s.sched.MutationEpoch()
 		siteNow = s.sched.Now()
 		return nil
 	})
+	sp.End()
 	return feasible, epoch, siteNow
 }
 
@@ -380,12 +494,21 @@ func (s *Site) RangeSearch(now, start, end period.Time) []period.Period {
 // committed in the site calendar but remain revocable until Commit or lease
 // expiry.
 func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return s.PrepareTraced(obs.SpanContext{}, now, holdID, start, end, servers, lease)
+}
+
+// PrepareTraced is Prepare recording the site's side — queue wait, journal
+// flush — as a fragment of the caller's trace, parented under the broker's
+// prepare span.
+func (s *Site) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
 	if holdID == "" || servers <= 0 || end <= start || lease <= 0 {
 		return nil, fmt.Errorf("grid %s: invalid prepare (hold %q, %d servers, [%d,%d), lease %d)",
 			s.name, holdID, servers, start, end, lease)
 	}
+	sp := s.startSpan(tc, "site.prepare")
+	sp.Annotate(slog.String("hold", holdID), slog.Int("servers", servers))
 	var granted []int
-	err := s.submitWrite(func() error {
+	err := s.submitWriteTraced(sp, func() error {
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err
@@ -426,6 +549,8 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 		granted = alloc.Servers
 		return nil
 	})
+	sp.Fail(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +573,14 @@ func holdLocalID(holdID string) int64 {
 // The hold is remembered until its window ends so a partial cross-site
 // commit can still be compensated by Abort.
 func (s *Site) Commit(now period.Time, holdID string) error {
-	return s.submitWrite(func() error {
+	return s.CommitTraced(obs.SpanContext{}, now, holdID)
+}
+
+// CommitTraced is Commit as a fragment of the caller's trace.
+func (s *Site) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	sp := s.startSpan(tc, "site.commit")
+	sp.Annotate(slog.String("hold", holdID))
+	err := s.submitWriteTraced(sp, func() error {
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err
@@ -468,6 +600,9 @@ func (s *Site) Commit(now period.Time, holdID string) error {
 		s.event(obs.EventCommit, slog.String("hold", holdID))
 		return nil
 	})
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // Abort releases a hold. A prepared hold is cancelled outright; a hold that
@@ -476,7 +611,14 @@ func (s *Site) Commit(now period.Time, holdID string) error {
 // gone, the rest returns to the pool. Aborting an unknown hold is a no-op
 // (the lease may already have expired), matching presumed-abort 2PC.
 func (s *Site) Abort(now period.Time, holdID string) error {
-	return s.submitWrite(func() error {
+	return s.AbortTraced(obs.SpanContext{}, now, holdID)
+}
+
+// AbortTraced is Abort as a fragment of the caller's trace.
+func (s *Site) AbortTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	sp := s.startSpan(tc, "site.abort")
+	sp.Annotate(slog.String("hold", holdID))
+	err := s.submitWriteTraced(sp, func() error {
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err
@@ -519,6 +661,9 @@ func (s *Site) Abort(now period.Time, holdID string) error {
 		s.event(obs.EventAbort, slog.String("hold", holdID))
 		return nil
 	})
+	sp.Fail(err)
+	sp.End()
+	return err
 }
 
 // Stats reports the site's protocol counters as of the last published

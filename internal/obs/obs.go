@@ -68,16 +68,27 @@ const histBuckets = 64
 //
 // A Histogram is safe for concurrent use.
 type Histogram struct {
-	mu      sync.Mutex
-	window  time.Duration // total lookback
-	slot    time.Duration // window / numWindows
-	wins    [][histBuckets]uint64
-	cur     int   // index of the active window
-	curSlot int64 // absolute slot index the active window covers
-	count   uint64
-	sum     time.Duration
-	maxSeen time.Duration
-	nowFn   func() time.Time
+	mu        sync.Mutex
+	window    time.Duration // total lookback
+	slot      time.Duration // window / numWindows
+	wins      [][histBuckets]uint64
+	cur       int   // index of the active window
+	curSlot   int64 // absolute slot index the active window covers
+	count     uint64
+	sum       time.Duration
+	maxSeen   time.Duration
+	nowFn     func() time.Time
+	exemplars [histBuckets]exemplar
+}
+
+// exemplar links a histogram bucket to the most recent traced observation
+// that landed in it, so a quantile estimate can point at a concrete trace
+// in the flight recorder. Exemplars do not expire with the window ring:
+// "the last trace this slow" stays useful after the spike has rotated out
+// of the quantiles.
+type exemplar struct {
+	traceID uint64
+	d       time.Duration
 }
 
 // DefaultWindow is the lookback used by NewHistogram callers that do not
@@ -139,17 +150,26 @@ func (h *Histogram) rotateLocked() {
 }
 
 // Observe records one duration. Negative durations clamp to zero.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.ObserveTrace(d, 0) }
+
+// ObserveTrace records one duration and, when traceID is nonzero, stamps
+// it as the bucket's exemplar — the trace a later p99 estimate in that
+// bucket will point at.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID uint64) {
 	if d < 0 {
 		d = 0
 	}
+	b := bucketOf(d)
 	h.mu.Lock()
 	h.rotateLocked()
-	h.wins[h.cur][bucketOf(d)]++
+	h.wins[h.cur][b]++
 	h.count++
 	h.sum += d
 	if d > h.maxSeen {
 		h.maxSeen = d
+	}
+	if traceID != 0 {
+		h.exemplars[b] = exemplar{traceID: traceID, d: d}
 	}
 	h.mu.Unlock()
 }
@@ -157,6 +177,11 @@ func (h *Histogram) Observe(d time.Duration) {
 // Since observes the time elapsed since t0. It is designed for
 // `defer h.Since(time.Now())`.
 func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// SinceTrace is Since with an exemplar trace ID.
+func (h *Histogram) SinceTrace(t0 time.Time, traceID uint64) {
+	h.ObserveTrace(time.Since(t0), traceID)
+}
 
 // Count returns the lifetime number of observations.
 func (h *Histogram) Count() uint64 {
@@ -193,8 +218,15 @@ func (h *Histogram) mergedLocked() (merged [histBuckets]uint64, total uint64) {
 
 // quantileOf extracts the q-quantile from a merged bucket array.
 func (h *Histogram) quantileOf(merged [histBuckets]uint64, total uint64, q float64) time.Duration {
+	d, _ := h.quantileBucket(merged, total, q)
+	return d
+}
+
+// quantileBucket is quantileOf plus the index of the bucket holding the
+// quantile (-1 when the window is empty), for exemplar lookup.
+func (h *Histogram) quantileBucket(merged [histBuckets]uint64, total uint64, q float64) (time.Duration, int) {
 	if total == 0 || math.IsNaN(q) {
-		return 0
+		return 0, -1
 	}
 	if q > 1 {
 		q = 1
@@ -208,10 +240,23 @@ func (h *Histogram) quantileOf(merged [histBuckets]uint64, total uint64, q float
 		seen += n
 		if seen >= rank {
 			lo := float64(uint64(1) << uint(b))
-			return time.Duration(lo * math.Sqrt2)
+			return time.Duration(lo * math.Sqrt2), b
 		}
 	}
-	return h.maxSeen
+	return h.maxSeen, histBuckets - 1
+}
+
+// exemplarFor returns the trace stamped on the bucket holding the
+// q-quantile, walking down to nearby lower buckets when the exact bucket
+// was never traced (an untraced caller can land observations in a bucket
+// no traced request ever hit).
+func (h *Histogram) exemplarFor(bucket int) uint64 {
+	for b := bucket; b >= 0 && b > bucket-3; b-- {
+		if h.exemplars[b].traceID != 0 {
+			return h.exemplars[b].traceID
+		}
+	}
+	return 0
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) of the observations in the
@@ -231,14 +276,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	merged, total := h.mergedLocked()
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Count:       h.count,
 		WindowCount: total,
 		Sum:         h.sum,
-		P50:         h.quantileOf(merged, total, 0.50),
-		P95:         h.quantileOf(merged, total, 0.95),
-		P99:         h.quantileOf(merged, total, 0.99),
 	}
+	var b50, b95, b99 int
+	s.P50, b50 = h.quantileBucket(merged, total, 0.50)
+	s.P95, b95 = h.quantileBucket(merged, total, 0.95)
+	s.P99, b99 = h.quantileBucket(merged, total, 0.99)
+	if b50 >= 0 {
+		s.P50Trace = h.exemplarFor(b50)
+		s.P95Trace = h.exemplarFor(b95)
+		s.P99Trace = h.exemplarFor(b99)
+	}
+	return s
 }
 
 // HistogramSnapshot is a point-in-time view of a Histogram. WindowCount is
@@ -246,11 +298,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // computed over; when it is zero the quantiles are meaningless (the zeros
 // are placeholders, not measurements) and renderers must say so rather than
 // report a false 0s latency.
+// The PxxTrace fields carry the exemplar trace ID nearest each quantile's
+// bucket (0 when no traced observation landed nearby); renderers surface
+// them so a quantile spike points at a concrete trace in /debug/traces.
 type HistogramSnapshot struct {
-	Count         uint64
-	WindowCount   uint64
-	Sum           time.Duration
-	P50, P95, P99 time.Duration
+	Count                        uint64
+	WindowCount                  uint64
+	Sum                          time.Duration
+	P50, P95, P99                time.Duration
+	P50Trace, P95Trace, P99Trace uint64
 }
 
 // String renders the snapshot compactly.

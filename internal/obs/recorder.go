@@ -1,0 +1,486 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Recorder is a per-process flight recorder: a bounded ring of recently
+// completed traces, always on and cheap enough to leave enabled. Retention
+// is biased — the ring is partitioned into three classes so the traces an
+// operator actually wants after an incident survive longest:
+//
+//	errored  traces with at least one failed span   (¼ of capacity)
+//	slow     traces at/above SlowThreshold          (¼ of capacity)
+//	normal   everything else                        (remaining ½)
+//
+// Each class is its own FIFO: a flood of healthy traffic evicts only other
+// healthy traces and can never push out the errored trace from five
+// seconds ago that explains the page. Within a class, oldest goes first.
+type Recorder struct {
+	slowThresh time.Duration
+	nowFn      func() time.Time // test clock; nil means time.Now (kept nil so the hot path inlines)
+
+	mu      sync.Mutex
+	normal  traceRing
+	slow    traceRing
+	errored traceRing
+	seen    uint64 // traces ever admitted
+	// free recycles the []Span snapshots finalized traces hand over:
+	// eviction from a ring returns the evicted trace's buffer here, and
+	// the next finalizing trace reuses it. A plain freelist under mu
+	// (not a sync.Pool) so a recycle costs zero allocations — boxing a
+	// slice for Pool.Put would itself allocate on every trace.
+	free [][]Span
+}
+
+// maxFreeSpanBufs bounds the freelist; beyond it buffers go to the GC.
+const maxFreeSpanBufs = 64
+
+// putSpanBufLocked parks an evicted buffer for reuse; caller holds r.mu.
+func (r *Recorder) putSpanBufLocked(s []Span) {
+	if cap(s) == 0 || len(r.free) >= maxFreeSpanBufs {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s) // drop Name/Err/Attrs references while parked
+	r.free = append(r.free, s)
+}
+
+// RecorderConfig sizes a Recorder. The zero value is usable: capacity
+// DefaultRecorderCapacity, slow threshold DefaultSlowThreshold.
+type RecorderConfig struct {
+	// Capacity is the total number of retained traces across all classes.
+	Capacity int
+	// SlowThreshold classifies a trace as slow-tail. Traces at or above it
+	// go to the slow class and outlive normal traffic.
+	SlowThreshold time.Duration
+}
+
+// DefaultRecorderCapacity bounds the recorder when the config does not: at
+// a few KB per trace, 256 traces keep the always-on cost near a megabyte.
+const DefaultRecorderCapacity = 256
+
+// DefaultSlowThreshold is the slow-tail classification bound. The seed
+// system's p99 co-allocation sits well under a millisecond in-process and
+// single-digit milliseconds over TCP, so 25ms is decisively "slow".
+const DefaultSlowThreshold = 25 * time.Millisecond
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	total := cfg.Capacity
+	if total <= 0 {
+		total = DefaultRecorderCapacity
+	}
+	if total < 3 {
+		total = 3 // one slot per class
+	}
+	slowCap := total / 4
+	errCap := total / 4
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	if errCap < 1 {
+		errCap = 1
+	}
+	thresh := cfg.SlowThreshold
+	if thresh <= 0 {
+		thresh = DefaultSlowThreshold
+	}
+	return &Recorder{
+		slowThresh: thresh,
+		normal:     traceRing{cap: total - slowCap - errCap},
+		slow:       traceRing{cap: slowCap},
+		errored:    traceRing{cap: errCap},
+	}
+}
+
+func (r *Recorder) now() time.Time {
+	if r.nowFn != nil {
+		return r.nowFn()
+	}
+	return time.Now()
+}
+
+// setClock injects a deterministic clock; tests only.
+func (r *Recorder) setClock(fn func() time.Time) { r.nowFn = fn }
+
+// Trace is one completed local trace fragment. Spans[0] is the local root;
+// Remote marks fragments whose root parents a span in another process.
+type Trace struct {
+	TraceID  uint64
+	Root     string
+	Start    time.Time
+	Duration time.Duration
+	Err      bool
+	Remote   bool
+	Spans    []Span
+}
+
+// traceRing is a fixed-capacity FIFO of traces.
+type traceRing struct {
+	cap   int
+	buf   []Trace
+	head  int // index of the oldest element once full
+	evict uint64
+}
+
+// push files t, returning the evicted trace's span buffer (if any) so the
+// caller can recycle it.
+func (tr *traceRing) push(t Trace) (evicted []Span) {
+	if tr.cap <= 0 {
+		return t.Spans
+	}
+	if len(tr.buf) < tr.cap {
+		tr.buf = append(tr.buf, t)
+		return nil
+	}
+	evicted = tr.buf[tr.head].Spans
+	tr.buf[tr.head] = t
+	tr.head = (tr.head + 1) % tr.cap
+	tr.evict++
+	return evicted
+}
+
+// all appends the ring's traces to dst, oldest first.
+func (tr *traceRing) all(dst []Trace) []Trace {
+	dst = append(dst, tr.buf[tr.head:]...)
+	return append(dst, tr.buf[:tr.head]...)
+}
+
+// StartSpan opens a new trace rooted in this process and returns its root
+// span. Safe on a nil recorder (returns nil). The returned handle lives
+// inside a pooled buffer: once its End() returns, the handle must not be
+// touched again (End finalizes the trace and recycles the buffer).
+func (r *Recorder) StartSpan(name string, attrs ...slog.Attr) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return r.startRoot(SpanContext{}, name, attrs)
+}
+
+// StartRemoteChild opens a local trace fragment whose root span parents
+// under a span in another process, carried over the wire as parent. An
+// invalid parent returns nil: a request from an untraced caller stays
+// untraced instead of fabricating a one-process trace per RPC. As with
+// StartSpan, the returned root handle must not be used after its End()
+// returns.
+func (r *Recorder) StartRemoteChild(parent SpanContext, name string, attrs ...slog.Attr) *ActiveSpan {
+	if r == nil || !parent.Valid() {
+		return nil
+	}
+	return r.startRoot(parent, name, attrs)
+}
+
+func (r *Recorder) startRoot(parent SpanContext, name string, attrs []slog.Attr) *ActiveSpan {
+	tb := tbPool.Get().(*traceBuf)
+	tb.mu.Lock()
+	tb.gen++
+	tb.rec = r
+	tb.remote = parent.Valid()
+	tb.done = false
+	tb.errs = 0
+	tb.recN = 0
+	tb.rootSp = Span{
+		TraceID: parent.TraceID,
+		SpanID:  spanID(),
+		Parent:  parent.SpanID,
+		Name:    name,
+		Start:   r.now(),
+		Attrs:   attrs,
+	}
+	if tb.rootSp.TraceID == 0 {
+		tb.rootSp.TraceID = spanID()
+	}
+	tb.spans = append(tb.inline[:0], &tb.rootSp)
+	tb.root = ActiveSpan{tb: tb, sp: &tb.rootSp, gen: tb.gen}
+	tb.mu.Unlock()
+	return &tb.root
+}
+
+// getSpanBufLocked returns a recycled span buffer with cap >= n, or a
+// fresh one; caller holds r.mu. Too-small parked buffers are dropped.
+func (r *Recorder) getSpanBufLocked(n int) []Span {
+	for len(r.free) > 0 {
+		s := r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]Span, n, max(n, 8))
+}
+
+// admitLocked files t into its retention class and recycles the buffer of
+// whatever it evicted; caller holds r.mu.
+func (r *Recorder) admitLocked(t Trace) {
+	r.seen++
+	var evicted []Span
+	switch {
+	case t.Err:
+		evicted = r.errored.push(t)
+	case t.Duration >= r.slowThresh:
+		evicted = r.slow.push(t)
+	default:
+		evicted = r.normal.push(t)
+	}
+	if evicted != nil {
+		r.putSpanBufLocked(evicted)
+	}
+}
+
+// admitFrom snapshots tb's completed spans into a (recycled when
+// possible) buffer and files the trace into its retention class. The
+// caller holds tb.mu; r.mu nests inside it — no path acquires tb.mu while
+// holding r.mu, so the order is acyclic. Recorder.Traces deep-copies
+// before releasing r.mu, so no reader can observe a buffer after its
+// trace was evicted and recycled.
+func (r *Recorder) admitFrom(tb *traceBuf) {
+	n := len(tb.spans)
+	r.mu.Lock()
+	spans := r.getSpanBufLocked(n)
+	for i, sp := range tb.spans {
+		spans[i] = *sp
+	}
+	root := &spans[0]
+	r.admitLocked(Trace{
+		TraceID:  root.TraceID,
+		Root:     root.Name,
+		Start:    root.Start,
+		Duration: root.End.Sub(root.Start),
+		Err:      tb.errs > 0,
+		Remote:   tb.remote,
+		Spans:    spans,
+	})
+	r.mu.Unlock()
+}
+
+// RecordRemoteSpan admits a completed one-span remote fragment directly,
+// with no traceBuf or handle in between — the cheapest way to trace a hot
+// leaf RPC whose whole local fragment is a single span, like a probe
+// answered lock-free from a published view. Equivalent to StartRemoteChild
+// followed immediately by End. A nil recorder or invalid parent records
+// nothing. The attrs slice is retained as passed.
+func (r *Recorder) RecordRemoteSpan(parent SpanContext, name string, start, end time.Time, attrs ...slog.Attr) {
+	if r == nil || !parent.Valid() {
+		return
+	}
+	r.mu.Lock()
+	spans := r.getSpanBufLocked(1)
+	spans[0] = Span{
+		TraceID: parent.TraceID,
+		SpanID:  spanID(),
+		Parent:  parent.SpanID,
+		Name:    name,
+		Start:   start,
+		End:     end,
+		Attrs:   attrs,
+	}
+	r.admitLocked(Trace{
+		TraceID:  parent.TraceID,
+		Root:     name,
+		Start:    start,
+		Duration: end.Sub(start),
+		Remote:   true,
+		Spans:    spans,
+	})
+	r.mu.Unlock()
+}
+
+// TraceQuery filters Traces. The zero query returns everything retained.
+type TraceQuery struct {
+	MinDuration time.Duration // keep traces at least this long
+	ErrorsOnly  bool          // keep only errored traces
+	TraceID     uint64        // keep only this trace (0 = any)
+	Limit       int           // max results (0 = no limit)
+}
+
+// Traces returns retained traces matching q, newest first.
+func (r *Recorder) Traces(q TraceQuery) []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]Trace, 0, len(r.normal.buf)+len(r.slow.buf)+len(r.errored.buf))
+	all = r.normal.all(all)
+	all = r.slow.all(all)
+	all = r.errored.all(all)
+	// Deep-copy span buffers before releasing the lock: the ring recycles
+	// a trace's buffer the moment it is evicted, so handing out the ring's
+	// own slices would race with the write path.
+	for i := range all {
+		spans := make([]Span, len(all[i].Spans))
+		copy(spans, all[i].Spans)
+		all[i].Spans = spans
+	}
+	r.mu.Unlock()
+
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	out := all[:0]
+	for _, t := range all {
+		if q.ErrorsOnly && !t.Err {
+			continue
+		}
+		if t.Duration < q.MinDuration {
+			continue
+		}
+		if q.TraceID != 0 && t.TraceID != q.TraceID {
+			continue
+		}
+		out = append(out, t)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.normal.buf) + len(r.slow.buf) + len(r.errored.buf)
+}
+
+// RecorderStats summarizes retention for surfacing in /statusz-like pages.
+type RecorderStats struct {
+	Seen                  uint64 // traces ever admitted
+	Retained              int
+	Normal, Slow, Errored int
+	Evicted               uint64
+}
+
+// Stats returns a snapshot of retention counters.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RecorderStats{
+		Seen:     r.seen,
+		Retained: len(r.normal.buf) + len(r.slow.buf) + len(r.errored.buf),
+		Normal:   len(r.normal.buf),
+		Slow:     len(r.slow.buf),
+		Errored:  len(r.errored.buf),
+		Evicted:  r.normal.evict + r.slow.evict + r.errored.evict,
+	}
+}
+
+// TraceJSON is the wire shape of one trace on /debug/traces. IDs are
+// rendered as fixed-width hex so they can be grepped across the fragments
+// different daemons recorded for the same request.
+type TraceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Start      time.Time  `json:"start"`
+	DurationUS int64      `json:"duration_us"`
+	Errored    bool       `json:"errored"`
+	Remote     bool       `json:"remote,omitempty"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span of a TraceJSON. Offsets are relative to the trace
+// start so a reader sees the timeline without parsing timestamps.
+type SpanJSON struct {
+	SpanID     string         `json:"span_id"`
+	Parent     string         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	OffsetUS   int64          `json:"offset_us"`
+	DurationUS int64          `json:"duration_us"`
+	Err        string         `json:"err,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// FormatTraceID renders a trace/span ID the way the JSON surfaces do.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID inverts FormatTraceID; it accepts any hex string.
+func ParseTraceID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// ToJSON converts a trace to its wire shape.
+func (t Trace) ToJSON() TraceJSON {
+	out := TraceJSON{
+		TraceID:    FormatTraceID(t.TraceID),
+		Root:       t.Root,
+		Start:      t.Start,
+		DurationUS: t.Duration.Microseconds(),
+		Errored:    t.Err,
+		Remote:     t.Remote,
+		Spans:      make([]SpanJSON, len(t.Spans)),
+	}
+	for i, sp := range t.Spans {
+		sj := SpanJSON{
+			SpanID:     FormatTraceID(sp.SpanID),
+			Name:       sp.Name,
+			OffsetUS:   sp.Start.Sub(t.Start).Microseconds(),
+			DurationUS: sp.Duration().Microseconds(),
+			Err:        sp.Err,
+		}
+		if sp.Parent != 0 {
+			sj.Parent = FormatTraceID(sp.Parent)
+		}
+		if len(sp.Attrs) > 0 {
+			sj.Attrs = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				sj.Attrs[a.Key] = a.Value.Any()
+			}
+		}
+		out.Spans[i] = sj
+	}
+	return out
+}
+
+// Handler serves the recorder as JSON: an array of TraceJSON, newest
+// first. Query parameters: ?slow=25ms (min duration), ?error=1 (errored
+// only), ?id=<hex trace id>, ?limit=n.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var q TraceQuery
+		if v := req.URL.Query().Get("slow"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad slow= duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			q.MinDuration = d
+		}
+		if v := req.URL.Query().Get("error"); v != "" && v != "0" && v != "false" {
+			q.ErrorsOnly = true
+		}
+		if v := req.URL.Query().Get("id"); v != "" {
+			id, err := ParseTraceID(v)
+			if err != nil {
+				http.Error(w, "bad id= trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			q.TraceID = id
+		}
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit=", http.StatusBadRequest)
+				return
+			}
+			q.Limit = n
+		}
+		traces := r.Traces(q)
+		out := make([]TraceJSON, len(traces))
+		for i, t := range traces {
+			out[i] = t.ToJSON()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}

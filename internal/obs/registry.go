@@ -210,6 +210,17 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 				m["p50_seconds"] = se.hist.P50.Seconds()
 				m["p95_seconds"] = se.hist.P95.Seconds()
 				m["p99_seconds"] = se.hist.P99.Seconds()
+				// Exemplars: the trace nearest each quantile's bucket, so a
+				// spike here points at a concrete /debug/traces entry.
+				if se.hist.P50Trace != 0 {
+					m["p50_trace"] = FormatTraceID(se.hist.P50Trace)
+				}
+				if se.hist.P95Trace != 0 {
+					m["p95_trace"] = FormatTraceID(se.hist.P95Trace)
+				}
+				if se.hist.P99Trace != 0 {
+					m["p99_trace"] = FormatTraceID(se.hist.P99Trace)
+				}
 			}
 			obj[se.name] = m
 		}

@@ -84,40 +84,108 @@ type TraceEvent struct {
 	Attrs []slog.Attr
 }
 
-// MemTracer records events in memory for tests and debugging.
+// DefaultMemTracerLimit bounds a zero-value MemTracer. At ~100 bytes per
+// event, 4096 events keep a forgotten long-lived debug tracer near 400KB
+// instead of growing without bound.
+const DefaultMemTracerLimit = 4096
+
+// MemTracer records events in memory for tests and debugging. It is a
+// bounded ring: once the limit is reached the oldest events are dropped,
+// so a long-lived tracer cannot grow memory unboundedly. The zero value is
+// ready to use with DefaultMemTracerLimit.
 type MemTracer struct {
-	mu     sync.Mutex
-	events []TraceEvent
+	mu      sync.Mutex
+	limit   int // 0 means DefaultMemTracerLimit; set via NewMemTracer/SetLimit
+	events  []TraceEvent
+	head    int // ring start once the buffer is full
+	dropped uint64
+}
+
+// NewMemTracer builds a tracer retaining at most limit events; limit <= 0
+// takes DefaultMemTracerLimit.
+func NewMemTracer(limit int) *MemTracer {
+	t := &MemTracer{}
+	t.SetLimit(limit)
+	return t
+}
+
+// SetLimit changes the retention bound, discarding the oldest events if
+// the buffer already exceeds it. limit <= 0 restores the default.
+func (t *MemTracer) SetLimit(limit int) {
+	if limit <= 0 {
+		limit = DefaultMemTracerLimit
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := t.orderedLocked()
+	if over := len(ev) - limit; over > 0 {
+		ev = ev[over:]
+		t.dropped += uint64(over)
+	}
+	t.limit = limit
+	t.events = ev
+	t.head = 0
+}
+
+func (t *MemTracer) limitLocked() int {
+	if t.limit <= 0 {
+		return DefaultMemTracerLimit
+	}
+	return t.limit
+}
+
+// orderedLocked linearizes the ring, oldest first.
+func (t *MemTracer) orderedLocked() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	return append(out, t.events[:t.head]...)
 }
 
 // Event implements Tracer.
 func (t *MemTracer) Event(name string, attrs ...slog.Attr) {
+	e := TraceEvent{Name: name, Attrs: append([]slog.Attr(nil), attrs...)}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.events = append(t.events, TraceEvent{Name: name, Attrs: append([]slog.Attr(nil), attrs...)})
+	if len(t.events) < t.limitLocked() {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.head] = e
+	t.head = (t.head + 1) % len(t.events)
+	t.dropped++
 }
 
-// Events returns a copy of everything recorded so far.
+// Events returns a copy of everything retained, oldest first.
 func (t *MemTracer) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]TraceEvent(nil), t.events...)
+	return t.orderedLocked()
 }
 
-// Names returns the recorded event names in order.
+// Names returns the retained event names in order.
 func (t *MemTracer) Names() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]string, len(t.events))
-	for i, e := range t.events {
+	ev := t.orderedLocked()
+	out := make([]string, len(ev))
+	for i, e := range ev {
 		out[i] = e.Name
 	}
 	return out
 }
 
-// Reset discards recorded events.
+// Dropped returns how many events aged out of the ring.
+func (t *MemTracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards recorded events (the limit is kept).
 func (t *MemTracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.events = nil
+	t.head = 0
+	t.dropped = 0
 }

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"coalloc/internal/faultnet"
+	"coalloc/internal/grid"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+// attrString extracts a string attribute from a span, "" when absent.
+func attrString(sp obs.Span, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value.String()
+		}
+	}
+	return ""
+}
+
+// TestAbortingCoAllocationLeavesOneTrace is the flight-recorder acceptance
+// test: a co-allocation that dies against a hung site must leave exactly one
+// errored trace in the broker's recorder telling the whole story — the
+// ladder attempts, the per-site prepare spans, the compensating aborts, and
+// the hung site's spans marked errored.
+//
+// The hang is staged to reach phase 1: the broker's probe cache is warmed
+// while the site is healthy, then the site's proxy hangs. Attempt 1 answers
+// its probes from the cache, so the split still includes the hung site and
+// prepare runs into the hang; attempt 2 probes live (2PC invalidated the
+// cache), sees the site dead, and fails on capacity.
+func TestAbortingCoAllocationLeavesOneTrace(t *testing.T) {
+	// Site names order the prepare sequence: "alpha" prepares first and
+	// succeeds, so the timeout at "zeta" forces a compensating abort.
+	_, _, goodAddr := startRawSite(t, "alpha", 8)
+	_, _, badAddr := startRawSite(t, "zeta", 8)
+	proxy, err := faultnet.Listen(badAddr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	ccfg := ClientConfig{DialTimeout: time.Second, CallTimeout: 150 * time.Millisecond}
+	good, err := DialConfig("tcp", goodAddr, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	bad, err := DialConfig("tcp", proxy.Addr(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+
+	br, err := grid.NewBroker(grid.BrokerConfig{
+		ProbeCache:       true,
+		BreakerThreshold: -1, // keep the hung site in play; this test is about spans, not breakers
+		MaxAttempts:      2,
+	}, good, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache while both sites answer, then hang zeta.
+	w := period.Time(period.Hour)
+	for _, a := range br.ProbeAll(0, 0, w) {
+		if a.Err != nil {
+			t.Fatalf("warmup probe of %s: %v", a.Conn.Name(), a.Err)
+		}
+	}
+	proxy.SetMode(faultnet.Hang)
+
+	// 12 servers needs both sites (8 each): alpha prepares, zeta hangs.
+	_, err = br.CoAllocate(0, grid.Request{ID: 9, Start: 0, Duration: period.Hour, Servers: 12})
+	if !errors.Is(err, grid.ErrNoCapacity) {
+		t.Fatalf("co-allocation against hung zeta = %v, want ErrNoCapacity", err)
+	}
+
+	traces := br.Recorder().Traces(obs.TraceQuery{ErrorsOnly: true})
+	var story []obs.Trace
+	for _, tr := range traces {
+		if tr.Root == "broker.coallocate" {
+			story = append(story, tr)
+		}
+	}
+	if len(story) != 1 {
+		t.Fatalf("recorder holds %d errored coallocate traces, want exactly 1", len(story))
+	}
+	tr := story[0]
+	if !tr.Err {
+		t.Fatal("the aborted co-allocation's trace is not marked errored")
+	}
+
+	var (
+		attempts                 int
+		prepares                 = map[string]obs.Span{}
+		abortCauses              []string
+		zetaAbortErred           bool
+		cachedProbes, liveProbes int
+	)
+	for _, sp := range tr.Spans {
+		switch sp.Name {
+		case "broker.attempt":
+			attempts++
+		case "broker.prepare":
+			prepares[attrString(sp, "site")] = sp
+		case "broker.abort":
+			abortCauses = append(abortCauses, attrString(sp, "cause"))
+			if attrString(sp, "site") == "zeta" && sp.Err != "" {
+				zetaAbortErred = true
+			}
+		case "broker.probe":
+			switch attrString(sp, "source") {
+			case "hit":
+				cachedProbes++
+			case "miss", "rpc":
+				liveProbes++
+			}
+		}
+	}
+	if attempts != 2 {
+		t.Fatalf("trace shows %d ladder attempts, want 2", attempts)
+	}
+	if sp, ok := prepares["alpha"]; !ok || sp.Err != "" {
+		t.Fatalf("alpha prepare span missing or errored: %+v", prepares)
+	}
+	if sp, ok := prepares["zeta"]; !ok || sp.Err == "" {
+		t.Fatalf("hung zeta's prepare span missing or not errored: %+v", prepares)
+	}
+	// Both the prepared site (compensation) and the ambiguous timed-out site
+	// get abort spans, all attributed to the failed phase 1.
+	if len(abortCauses) < 2 {
+		t.Fatalf("trace shows %d abort spans, want >= 2 (alpha compensation + zeta ambiguity)", len(abortCauses))
+	}
+	for _, c := range abortCauses {
+		if c != "prepare_failed" {
+			t.Fatalf("abort cause = %q, want prepare_failed", c)
+		}
+	}
+	if !zetaAbortErred {
+		t.Fatal("the abort against hung zeta did not record its failure")
+	}
+	// Attempt 1 rode the warmed cache (that is what let prepare reach the
+	// hang); attempt 2 probed live after the 2PC invalidation.
+	if cachedProbes == 0 {
+		t.Fatal("no probe span answered from cache; the staging premise broke")
+	}
+	if liveProbes == 0 {
+		t.Fatal("no probe span went to the wire on attempt 2")
+	}
+
+	// One request, one trace: the slog of the whole incident is a single
+	// recorder entry, not a scatter of fragments.
+	if got := br.Recorder().Stats().Errored; got != 1 {
+		t.Fatalf("recorder retains %d errored traces, want 1", got)
+	}
+}

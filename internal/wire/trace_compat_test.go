@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"net"
+	"net/rpc"
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/grid"
+	"coalloc/internal/obs"
+	"coalloc/internal/period"
+)
+
+// Trace compatibility suite: the TraceID/SpanID fields added to request
+// structs must be invisible to old servers and harmless coming from old
+// brokers, exactly like the epoch metadata before them. gob gives both
+// directions for free; these tests pin that the zero value is then handled
+// correctly — a site that decodes TraceID == 0 records nothing.
+
+// startTracedSite serves a modern site with a flight recorder attached and
+// returns the site (for recorder inspection) with a connected client.
+func startTracedSite(t *testing.T, name string, servers int) (*grid.Site, *Client) {
+	t.Helper()
+	site, err := grid.NewSite(name, core.Config{
+		Servers:  servers,
+		SlotSize: 15 * period.Minute,
+		Slots:    96,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.SetRecorder(obs.NewRecorder(obs.RecorderConfig{}))
+	srv, err := NewServer(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	siteAddrs.Store(name, l.Addr().String())
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return site, c
+}
+
+// TestLegacyServerDropsTraceFields pins the encode direction: a traced call
+// against a server that predates the trace fields must work exactly like an
+// untraced one — gob drops the unknown fields and the site simply records
+// nothing.
+func TestLegacyServerDropsTraceFields(t *testing.T) {
+	site, c := startLegacySite(t, "old-traced", 4)
+	tc := obs.SpanContext{TraceID: 0xabcd, SpanID: 0x1234}
+	w := period.Time(period.Hour)
+
+	r, err := c.ProbeTraced(tc, 0, 0, w)
+	if err != nil {
+		t.Fatalf("traced probe against legacy server: %v", err)
+	}
+	if r.Available != 4 || r.Capacity != 4 {
+		t.Fatalf("traced probe of legacy site = %+v", r)
+	}
+	servers, err := c.PrepareTraced(tc, 0, "h-old", 0, w, 2, 5*period.Minute)
+	if err != nil || len(servers) != 2 {
+		t.Fatalf("traced prepare against legacy server = %v, %v", servers, err)
+	}
+	if err := c.CommitTraced(tc, 0, "h-old"); err != nil {
+		t.Fatalf("traced commit against legacy server: %v", err)
+	}
+	if site.PendingHolds() != 0 {
+		t.Fatalf("legacy site left %d holds", site.PendingHolds())
+	}
+}
+
+// TestLegacyClientRequestStaysUntraced pins the decode direction: a request
+// from a pre-trace broker decodes with TraceID == 0, which the site must
+// treat as "do not record" — no fabricated one-process traces per RPC.
+func TestLegacyClientRequestStaysUntraced(t *testing.T) {
+	site, _ := startTracedSite(t, "new-site-old-broker", 4)
+	addr, _ := siteAddrs.Load("new-site-old-broker")
+	rc, err := rpc.Dial("tcp", addr.(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+
+	w := period.Time(period.Hour)
+	var probe LegacyProbeReply
+	if err := rc.Call(ServiceName+".Probe", LegacyProbeArgs{Now: 0, Start: 0, End: w}, &probe); err != nil {
+		t.Fatalf("legacy probe against traced server: %v", err)
+	}
+	var prep LegacyPrepareReply
+	if err := rc.Call(ServiceName+".Prepare", LegacyPrepareArgs{
+		Now: 0, HoldID: "h-legacy", Start: 0, End: w, Servers: 2, Lease: 5 * period.Minute,
+	}, &prep); err != nil {
+		t.Fatalf("legacy prepare against traced server: %v", err)
+	}
+	if err := rc.Call(ServiceName+".Commit", LegacyDecideArgs{Now: 0, HoldID: "h-legacy"}, &LegacyDecideReply{}); err != nil {
+		t.Fatalf("legacy commit against traced server: %v", err)
+	}
+	if n := site.Recorder().Len(); n != 0 {
+		t.Fatalf("site recorded %d traces for untraced legacy requests, want 0", n)
+	}
+}
+
+// TestUntracedModernClientRecordsNothing closes the loop for the third
+// population: a modern client calling the untraced Conn methods sends zero
+// trace fields, and the site must not record for it either.
+func TestUntracedModernClientRecordsNothing(t *testing.T) {
+	site, c := startTracedSite(t, "new-site-untraced", 4)
+	w := period.Time(period.Hour)
+	if _, err := c.Probe(0, 0, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prepare(0, "h-plain", 0, w, 1, 5*period.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(0, "h-plain"); err != nil {
+		t.Fatal(err)
+	}
+	if n := site.Recorder().Len(); n != 0 {
+		t.Fatalf("site recorded %d traces for untraced calls, want 0", n)
+	}
+}
+
+// TestCrossProcessTracePropagation is the end-to-end acceptance test for
+// span propagation: a broker co-allocating over TCP stamps its span context
+// on every RPC, and the site's flight recorder ends up holding remote
+// fragments that share the broker's TraceID and parent under spans the
+// broker actually recorded — including the site-internal queue-wait span.
+func TestCrossProcessTracePropagation(t *testing.T) {
+	site, c := startTracedSite(t, "traced-e2e", 8)
+	br, err := grid.NewBroker(grid.BrokerConfig{BreakerThreshold: -1}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := br.CoAllocate(0, grid.Request{ID: 7, Start: 0, Duration: period.Hour, Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalServers() != 4 {
+		t.Fatalf("granted %d servers, want 4", alloc.TotalServers())
+	}
+
+	// The broker recorded the root trace.
+	roots := br.Recorder().Traces(obs.TraceQuery{})
+	var brokerTrace *obs.Trace
+	for i := range roots {
+		if roots[i].Root == "broker.coallocate" {
+			brokerTrace = &roots[i]
+			break
+		}
+	}
+	if brokerTrace == nil {
+		t.Fatalf("broker recorder holds no coallocate trace; got %d traces", len(roots))
+	}
+	brokerSpans := make(map[uint64]string, len(brokerTrace.Spans))
+	for _, sp := range brokerTrace.Spans {
+		brokerSpans[sp.SpanID] = sp.Name
+	}
+
+	// The site recorded remote fragments of the same trace.
+	frags := site.Recorder().Traces(obs.TraceQuery{TraceID: brokerTrace.TraceID})
+	if len(frags) == 0 {
+		t.Fatalf("site recorder holds no fragments of trace %s (site has %d traces total)",
+			obs.FormatTraceID(brokerTrace.TraceID), site.Recorder().Len())
+	}
+	seenRoot := map[string]bool{}
+	for _, f := range frags {
+		if !f.Remote {
+			t.Fatalf("site fragment %q not marked remote", f.Root)
+		}
+		root := f.Spans[0]
+		if root.Parent == 0 {
+			t.Fatalf("site fragment %q has no remote parent", f.Root)
+		}
+		if _, ok := brokerSpans[root.Parent]; !ok {
+			t.Fatalf("site fragment %q parents under span %s the broker never recorded",
+				f.Root, obs.FormatTraceID(root.Parent))
+		}
+		seenRoot[f.Root] = true
+	}
+	for _, want := range []string{"site.probe", "site.prepare", "site.commit"} {
+		if !seenRoot[want] {
+			t.Fatalf("site fragments %v missing %q", seenRoot, want)
+		}
+	}
+	// The prepare fragment exposes the site-internal pipeline: its queue-wait
+	// span parents under the fragment root, proving intra-site spans ride the
+	// same trace.
+	for _, f := range frags {
+		if f.Root != "site.prepare" {
+			continue
+		}
+		var sawWait bool
+		for _, sp := range f.Spans[1:] {
+			if sp.Name == "site.queue.wait" && sp.Parent == f.Spans[0].SpanID {
+				sawWait = true
+			}
+		}
+		if !sawWait {
+			t.Fatalf("site.prepare fragment has no site.queue.wait child: %+v", f.Spans)
+		}
+	}
+}

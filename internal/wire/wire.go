@@ -23,8 +23,16 @@ import (
 const ServiceName = "CoallocSite"
 
 // ProbeArgs asks how many servers are free over a window.
+//
+// TraceID and SpanID carry the broker's span context so the site's own spans
+// (view lookup, queue wait, WAL flush) land in a trace fragment that links
+// back to the broker's request. Like the epoch fields, they ride gob's
+// unknown-field tolerance: an old server drops them (the request is simply
+// untraced site-side), and a request from an old broker decodes with both
+// zero — the sentinel telling the site not to record anything.
 type ProbeArgs struct {
 	Now, Start, End period.Time
+	TraceID, SpanID uint64
 }
 
 // ProbeReply carries the probed availability together with the site's
@@ -47,6 +55,8 @@ type ProbeReply struct {
 // per-site leg of the user-facing range search (§4.2).
 type RangeArgs struct {
 	Now, Start, End period.Time
+	// Trace context; see ProbeArgs.
+	TraceID, SpanID uint64
 }
 
 // RangeReply lists the feasible periods, with the same backward-compatible
@@ -65,6 +75,8 @@ type PrepareArgs struct {
 	End     period.Time
 	Servers int
 	Lease   period.Duration
+	// Trace context; see ProbeArgs.
+	TraceID, SpanID uint64
 }
 
 // PrepareReply lists the granted server IDs and the site epoch after the
@@ -81,6 +93,8 @@ type PrepareReply struct {
 type DecideArgs struct {
 	Now    period.Time
 	HoldID string
+	// Trace context; see ProbeArgs.
+	TraceID, SpanID uint64
 }
 
 // DecideReply is empty; errors travel on the RPC error channel.
@@ -162,10 +176,17 @@ type Service struct {
 	suppressEpochs bool
 }
 
+// traceContext rebuilds the caller's span context from a request's trace
+// fields. Requests from pre-trace brokers decode with both zero, which
+// obs.SpanContext.Valid rejects — the site records nothing for them.
+func traceContext(traceID, spanID uint64) obs.SpanContext {
+	return obs.SpanContext{TraceID: traceID, SpanID: spanID}
+}
+
 // Probe implements the RPC method.
 func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
 	return s.m.observe("Probe", func() error {
-		n, epoch, siteNow := s.site.ProbeView(args.Now, args.Start, args.End)
+		n, epoch, siteNow := s.site.ProbeViewTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.Start, args.End)
 		reply.Available = n
 		reply.Capacity = s.site.Servers()
 		if !s.suppressEpochs {
@@ -179,7 +200,7 @@ func (s *Service) Probe(args ProbeArgs, reply *ProbeReply) error {
 // Range implements the RPC method.
 func (s *Service) Range(args RangeArgs, reply *RangeReply) error {
 	return s.m.observe("Range", func() error {
-		feasible, epoch, siteNow := s.site.RangeSearchView(args.Now, args.Start, args.End)
+		feasible, epoch, siteNow := s.site.RangeSearchViewTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.Start, args.End)
 		reply.Feasible = feasible
 		if !s.suppressEpochs {
 			reply.Epoch = epoch
@@ -192,7 +213,7 @@ func (s *Service) Range(args RangeArgs, reply *RangeReply) error {
 // Prepare implements the RPC method.
 func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
 	return s.m.observe("Prepare", func() error {
-		servers, err := s.site.Prepare(args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
+		servers, err := s.site.PrepareTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
 		if err != nil {
 			return err
 		}
@@ -207,14 +228,14 @@ func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
 // Commit implements the RPC method.
 func (s *Service) Commit(args DecideArgs, _ *DecideReply) error {
 	return s.m.observe("Commit", func() error {
-		return s.site.Commit(args.Now, args.HoldID)
+		return s.site.CommitTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.HoldID)
 	})
 }
 
 // Abort implements the RPC method.
 func (s *Service) Abort(args DecideArgs, _ *DecideReply) error {
 	return s.m.observe("Abort", func() error {
-		return s.site.Abort(args.Now, args.HoldID)
+		return s.site.AbortTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.HoldID)
 	})
 }
 
@@ -405,8 +426,9 @@ type Client struct {
 }
 
 var (
-	_ grid.Conn      = (*Client)(nil)
-	_ grid.RangeConn = (*Client)(nil)
+	_ grid.Conn       = (*Client)(nil)
+	_ grid.RangeConn  = (*Client)(nil)
+	_ grid.TracedConn = (*Client)(nil)
 )
 
 // Dial connects to a site daemon and fetches its identity, with no
@@ -567,8 +589,14 @@ func (c *Client) Servers() (int, error) { return c.servers, nil }
 
 // Probe implements grid.Conn.
 func (c *Client) Probe(now, start, end period.Time) (grid.ProbeResult, error) {
+	return c.ProbeTraced(obs.SpanContext{}, now, start, end)
+}
+
+// ProbeTraced implements grid.TracedConn: Probe with the caller's span
+// context stamped on the request so the site's spans parent under it.
+func (c *Client) ProbeTraced(tc obs.SpanContext, now, start, end period.Time) (grid.ProbeResult, error) {
 	var reply ProbeReply
-	if err := c.call("Probe", ProbeArgs{Now: now, Start: start, End: end}, &reply); err != nil {
+	if err := c.call("Probe", ProbeArgs{Now: now, Start: start, End: end, TraceID: tc.TraceID, SpanID: tc.SpanID}, &reply); err != nil {
 		return grid.ProbeResult{}, err
 	}
 	r := grid.ProbeResult{
@@ -608,9 +636,15 @@ func (c *Client) RangeView(now, start, end period.Time) (grid.RangeResult, error
 
 // Prepare implements grid.Conn.
 func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return c.PrepareTraced(obs.SpanContext{}, now, holdID, start, end, servers, lease)
+}
+
+// PrepareTraced implements grid.TracedConn.
+func (c *Client) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
 	var reply PrepareReply
 	err := c.call("Prepare", PrepareArgs{
 		Now: now, HoldID: holdID, Start: start, End: end, Servers: servers, Lease: lease,
+		TraceID: tc.TraceID, SpanID: tc.SpanID,
 	}, &reply)
 	if err != nil {
 		return nil, err
@@ -620,12 +654,22 @@ func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time,
 
 // Commit implements grid.Conn.
 func (c *Client) Commit(now period.Time, holdID string) error {
-	return c.call("Commit", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+	return c.CommitTraced(obs.SpanContext{}, now, holdID)
+}
+
+// CommitTraced implements grid.TracedConn.
+func (c *Client) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	return c.call("Commit", DecideArgs{Now: now, HoldID: holdID, TraceID: tc.TraceID, SpanID: tc.SpanID}, &DecideReply{})
 }
 
 // Abort implements grid.Conn.
 func (c *Client) Abort(now period.Time, holdID string) error {
-	return c.call("Abort", DecideArgs{Now: now, HoldID: holdID}, &DecideReply{})
+	return c.AbortTraced(obs.SpanContext{}, now, holdID)
+}
+
+// AbortTraced implements grid.TracedConn.
+func (c *Client) AbortTraced(tc obs.SpanContext, now period.Time, holdID string) error {
+	return c.call("Abort", DecideArgs{Now: now, HoldID: holdID, TraceID: tc.TraceID, SpanID: tc.SpanID}, &DecideReply{})
 }
 
 // Checkpoint asks the site for a durable cut of its state into its WAL.
