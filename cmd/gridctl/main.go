@@ -7,6 +7,13 @@
 //	gridctl stats -sites 127.0.0.1:7001,127.0.0.1:7002
 //	gridctl checkpoint -sites 127.0.0.1:7001,127.0.0.1:7002
 //	gridctl trace -from 127.0.0.1:8001 -slow 25ms -error
+//	gridctl replicas -sites 127.0.0.1:7001,127.0.0.1:7002
+//	gridctl promote -site 127.0.0.1:7002 -cause "primary rack lost power"
+//
+// `gridctl replicas` shows each node's replication role, fencing
+// incarnation, and per-standby lag; `gridctl promote` manually fails a
+// site over to a standby (brokers with a standby pool do this on their
+// own when the primary's circuit breaker sticks open).
 //
 // `gridctl trace` reads a daemon's always-on flight recorder (served on its
 // -debug address under /debug/traces) and renders each retained trace as an
@@ -45,6 +52,12 @@ func main() {
 			return
 		case "trace":
 			traceMain(os.Args[2:])
+			return
+		case "replicas":
+			replicasMain(os.Args[2:])
+			return
+		case "promote":
+			promoteMain(os.Args[2:])
 			return
 		}
 	}

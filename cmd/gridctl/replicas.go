@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"coalloc/internal/wire"
+)
+
+// replicasMain implements `gridctl replicas`: it queries each address's
+// replication service and renders role, fencing incarnation, journal head,
+// and per-standby lag — the one-glance answer to "who is primary and how
+// far behind is everyone else".
+func replicasMain(args []string) {
+	fs := flag.NewFlagSet("gridctl replicas", flag.ExitOnError)
+	sites := fs.String("sites", "127.0.0.1:7001", "comma-separated replication addresses (primaries and standbys)")
+	cfg := timeoutFlags(fs)
+	fs.Parse(args)
+
+	failed := false
+	for _, addr := range strings.Split(*sites, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := wire.DialReplica("tcp", addr, *cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridctl:", err)
+			failed = true
+			continue
+		}
+		st, err := c.ReplicaStatus()
+		c.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridctl: %s: %v\n", addr, err)
+			failed = true
+			continue
+		}
+		line := fmt.Sprintf("%-21s role %-8s incarnation %d, journal head %d",
+			addr, st.Role, st.Incarnation, st.NextLSN)
+		if st.Mode != "" {
+			line += ", " + st.Mode
+			if st.Mode == "semi-sync" {
+				line += fmt.Sprintf(" (quorum %d)", st.AckReplicas)
+			}
+		}
+		if st.LastFailoverUnix != 0 {
+			line += ", promoted " + time.Unix(st.LastFailoverUnix, 0).UTC().Format(time.RFC3339)
+		}
+		fmt.Println(line)
+		for _, r := range st.Replicas {
+			health := "streaming"
+			switch {
+			case r.Err != "":
+				health = "error: " + r.Err
+			case !r.Alive:
+				health = "disconnected"
+			}
+			fmt.Printf("  standby %-18s acked lsn %d, behind %d records / %d bytes, %s\n",
+				r.Name, r.AckedLSN, r.RecordsBehind, r.BytesBehind, health)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// promoteMain implements `gridctl promote`: a manual failover. The standby
+// draws a fresh epoch salt and a bumped fencing incarnation, starts serving
+// mutations, and from then on refuses the deposed primary's stream — which
+// fences the old node the next time it ships a batch.
+func promoteMain(args []string) {
+	fs := flag.NewFlagSet("gridctl promote", flag.ExitOnError)
+	site := fs.String("site", "", "replication address of the standby to promote (required)")
+	cause := fs.String("cause", "operator", "reason recorded with the promotion")
+	cfg := timeoutFlags(fs)
+	fs.Parse(args)
+	if *site == "" {
+		fmt.Fprintln(os.Stderr, "gridctl: promote needs -site")
+		os.Exit(1)
+	}
+
+	c, err := wire.DialReplica("tcp", *site, *cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	epoch, incarnation, err := c.PromoteReplica(*cause)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promoted %s: incarnation %d, epoch %d\n", *site, incarnation, epoch)
+	fmt.Println("the deposed primary will fence itself on its next stream batch; point brokers at the promoted node")
+}

@@ -18,6 +18,14 @@
 // exactly as if it had stayed up. Unlike -wal it offers no crash safety
 // between shutdowns.
 //
+// High availability: -replicas streams the WAL to standby gridd processes
+// (started with -standby) and -ack-mode=semisync withholds acknowledgments
+// until -ack-replicas standbys have persisted the batch. A standby serves
+// probes and the replication service but refuses 2PC mutations until it is
+// promoted (gridctl promote, or automatically by a broker whose breaker for
+// the primary sticks open). Both roles require -wal. Start standbys before
+// the primary: the primary dials each -replicas address at boot.
+//
 // Probe, range, and prepare replies carry the site's availability epoch so
 // caching brokers can reuse answers until the site mutates; -suppress-epochs
 // omits that metadata, byte-compatibly emulating a pre-epoch site binary
@@ -42,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +58,7 @@ import (
 	"coalloc/internal/grid"
 	"coalloc/internal/obs"
 	"coalloc/internal/period"
+	"coalloc/internal/replica"
 	"coalloc/internal/wal"
 	"coalloc/internal/wire"
 )
@@ -72,6 +82,11 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-every", 5*time.Minute, "auto-checkpoint cadence with -wal (0 disables)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "drop client connections idle longer than this (0 disables; reclaims sockets from half-dead brokers)")
 		noEpochs     = flag.Bool("suppress-epochs", false, "omit epoch metadata from replies, emulating a pre-epoch site binary (callers' availability caches stay cold)")
+		standby      = flag.Bool("standby", false, "boot as a standby replica: serve reads and the replication stream, refuse 2PC mutations until promoted (requires -wal)")
+		replicas     = flag.String("replicas", "", "comma-separated standby replication addresses to stream the WAL to (requires -wal)")
+		ackMode      = flag.String("ack-mode", "async", "replication acknowledgment mode: async or semisync")
+		ackReplicas  = flag.Int("ack-replicas", 1, "standbys that must persist a batch before a semisync acknowledgment")
+		ackTimeout   = flag.Duration("ack-timeout", replica.DefaultAckTimeout, "semisync wait bound before degrading to async (negative: never degrade)")
 		debugAddr    = flag.String("debug", "", "HTTP listen address for /metrics, /healthz, /statusz, /debug/traces, /debug/pprof (disabled when empty)")
 		trace        = flag.Bool("trace", false, "log scheduling and 2PC events as JSON on stderr")
 		traceCap     = flag.Int("trace-capacity", obs.DefaultRecorderCapacity, "flight recorder capacity in traces (the recorder is always on; this bounds its memory)")
@@ -87,17 +102,34 @@ func main() {
 		reg = obs.Default()
 	}
 
+	if (*standby || *replicas != "") && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "gridd: -standby and -replicas require -wal (replication streams the write-ahead log)")
+		os.Exit(1)
+	}
+	if *standby && *replicas != "" {
+		fmt.Fprintln(os.Stderr, "gridd: -standby and -replicas are mutually exclusive (a node is a primary or a standby, not both)")
+		os.Exit(1)
+	}
+
 	fresh := func() (*grid.Site, error) {
 		return loadOrCreateSite(*snapshot, *name, *servers, *tauMin, *horizonHours, *now)
 	}
 	var (
 		site *grid.Site
 		wlog *wal.Log
+		sb   *replica.Standby
+		prim *replica.Primary
 		err  error
 	)
-	if *walDir != "" {
+	switch {
+	case *standby:
+		sb, err = bootStandby(*walDir, *walSync, *walSyncEvery, reg, fresh)
+		if err == nil {
+			site = sb.Site()
+		}
+	case *walDir != "":
 		site, wlog, err = bootFromWAL(*walDir, *walSync, *walSyncEvery, reg, fresh)
-	} else {
+	default:
 		site, err = fresh()
 	}
 	if err != nil {
@@ -107,12 +139,38 @@ func main() {
 
 	// The flight recorder is always on: traced requests cost one ring slot
 	// each, and after an incident /debug/traces already holds the story.
-	site.SetRecorder(obs.NewRecorder(obs.RecorderConfig{Capacity: *traceCap}))
+	recorder := obs.NewRecorder(obs.RecorderConfig{Capacity: *traceCap})
+	site.SetRecorder(recorder)
+
+	if *replicas != "" {
+		prim, err = startReplication(site, wlog, *walDir, *replicas, *ackMode, *ackReplicas, *ackTimeout, reg, recorder)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridd:", err)
+			os.Exit(1)
+		}
+	}
 
 	srv, err := wire.NewServer(site)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
+	}
+	if sb != nil {
+		// The replication service stays enabled even after a promotion: a
+		// deposed primary that reconnects must be told it is fenced.
+		if err := srv.EnableReplication(sb); err != nil {
+			fmt.Fprintln(os.Stderr, "gridd:", err)
+			os.Exit(1)
+		}
+	}
+	if prim != nil {
+		// A primary answers status on the same service name, so `gridctl
+		// replicas` can ask any node who it is and how far behind its
+		// standbys are.
+		if err := srv.EnableReplicationStatus(prim); err != nil {
+			fmt.Fprintln(os.Stderr, "gridd:", err)
+			os.Exit(1)
+		}
 	}
 	srv.IdleTimeout = *idleTimeout
 	if *noEpochs {
@@ -137,11 +195,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gridd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("gridd: site %q with %d servers listening on %s\n", site.Name(), site.Servers(), l.Addr())
+	role := ""
+	switch {
+	case sb != nil && sb.Promoted():
+		role = " [promoted primary]"
+	case sb != nil:
+		role = " [standby]"
+	case prim != nil:
+		role = " [replicating primary]"
+	}
+	fmt.Printf("gridd: site %q with %d servers listening on %s%s\n", site.Name(), site.Servers(), l.Addr(), role)
 
+	// On a standby the checkpoint must go through the replica layer: it
+	// serializes against the apply stream so the snapshot always matches the
+	// log position it covers.
+	ckptFn := site.Checkpoint
+	if sb != nil {
+		ckptFn = sb.Checkpoint
+	}
 	stopCkpt := make(chan struct{})
-	if wlog != nil && *ckptEvery > 0 {
-		go autoCheckpoint(site, *ckptEvery, stopCkpt)
+	if (wlog != nil || sb != nil) && *ckptEvery > 0 {
+		go autoCheckpoint(ckptFn, *ckptEvery, stopCkpt)
 	}
 
 	errCh := make(chan error, 1)
@@ -164,12 +238,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gridd: shutdown:", err)
 		}
 		close(stopCkpt)
-		if wlog != nil {
-			// A final checkpoint bounds the next boot's replay to zero.
-			if err := site.Checkpoint(); err != nil {
+		if wlog != nil || sb != nil {
+			// A final checkpoint bounds the next boot's replay to zero. On a
+			// fenced zombie it fails — that is correct, a fenced log is
+			// sealed evidence, not state to roll forward.
+			if err := ckptFn(); err != nil {
 				fmt.Fprintln(os.Stderr, "gridd: final checkpoint:", err)
 			}
+		}
+		if prim != nil {
+			prim.Close()
+		}
+		if wlog != nil {
 			if err := wlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gridd: wal close:", err)
+			}
+		}
+		if sb != nil {
+			if err := sb.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "gridd: wal close:", err)
 			}
 		}
@@ -220,14 +306,83 @@ func bootFromWAL(dir, syncFlag string, syncEvery time.Duration, reg *obs.Registr
 	return site, wlog, nil
 }
 
+// bootStandby recovers (or freshly creates) a standby replica in dir. A
+// node that was promoted before a restart boots straight back into the
+// primary role; a node whose log was sealed by fencing refuses to boot.
+func bootStandby(dir, syncFlag string, syncEvery time.Duration, reg *obs.Registry, fresh func() (*grid.Site, error)) (*replica.Standby, error) {
+	policy, err := wal.ParseSyncPolicy(syncFlag)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Dir:      dir,
+		WAL:      wal.Options{Sync: policy, SyncEvery: syncEvery, Metrics: wal.NewMetrics(reg)},
+		Fresh:    fresh,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	role := "standby"
+	if sb.Promoted() {
+		role = "promoted primary"
+	}
+	fmt.Printf("gridd: wal: replica boot as %s (incarnation %d)\n", role, sb.Incarnation())
+	return sb, nil
+}
+
+// startReplication layers the replication primary over a WAL-backed site
+// and dials every standby. Boot fails if a standby is unreachable — start
+// standbys first; once streaming, the senders reconnect on their own.
+func startReplication(site *grid.Site, wlog *wal.Log, dir, addrs, ackFlag string, ackReplicas int, ackTimeout time.Duration, reg *obs.Registry, rec *obs.Recorder) (*replica.Primary, error) {
+	mode, err := replica.ParseAckMode(ackFlag)
+	if err != nil {
+		return nil, err
+	}
+	prim, err := replica.NewPrimary(replica.PrimaryConfig{
+		Site:        site,
+		Log:         wlog,
+		Dir:         dir,
+		Mode:        mode,
+		AckReplicas: ackReplicas,
+		AckTimeout:  ackTimeout,
+		Registry:    reg,
+		Recorder:    rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		rc, err := wire.DialReplica("tcp", addr, wire.ClientConfig{
+			DialTimeout: 5 * time.Second,
+			CallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			prim.Close()
+			return nil, err
+		}
+		if err := prim.AddReplica(addr, rc); err != nil {
+			rc.Close()
+			prim.Close()
+			return nil, err
+		}
+	}
+	fmt.Printf("gridd: replicating to %s (%s acknowledgments)\n", addrs, mode)
+	return prim, nil
+}
+
 // autoCheckpoint periodically bounds replay time by cutting a checkpoint.
-func autoCheckpoint(site *grid.Site, every time.Duration, stop <-chan struct{}) {
+func autoCheckpoint(ckpt func() error, every time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			if err := site.Checkpoint(); err != nil {
+			if err := ckpt(); err != nil {
 				fmt.Fprintln(os.Stderr, "gridd: auto-checkpoint:", err)
 			}
 		case <-stop:

@@ -8,6 +8,7 @@
 //	loadgen -mode chaos               # broker over TCP with one site hung
 //	loadgen -mode cache               # availability cache vs raw RPC probes
 //	loadgen -mode trace-overhead      # always-on flight recorder vs tracing off
+//	loadgen -mode failover            # replicated site losing its primary mid-run
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
@@ -30,6 +31,15 @@
 // median throughput, so host noise biases neither side. The report's
 // overheadPercent is the throughput the recorder costs; the always-on
 // design budget is 5%.
+//
+// -mode failover boots one replicated site — a semi-sync primary behind a
+// faultnet proxy streaming its WAL to a standby — and runs a closed-loop
+// co-allocation (write) workload twice: once undisturbed, and once with the
+// primary's network hung at half time so the broker's breaker opens and
+// promotes the standby automatically. The report shows the failover's cost
+// (recovery gap in milliseconds, the error burst while the breaker counts
+// down) and what it preserves: lostAcked audits every acknowledged grant
+// against the promoted node and must be 0.
 //
 // Each mode runs the client counts given by -clients back to back against a
 // fresh seeded site, so the numbers across counts are comparable. The
@@ -236,7 +246,7 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, or trace-overhead")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, or failover")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
@@ -255,6 +265,9 @@ func main() {
 		return
 	case "trace-overhead":
 		traceOverheadMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *out)
+		return
+	case "failover":
+		failoverMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *seed, *out)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)

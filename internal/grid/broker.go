@@ -200,6 +200,7 @@ type brokerMetrics struct {
 	allUnreachable              *obs.Counter   // requests rejected with ErrAllSitesUnreachable
 	breakerOpen                 *obs.Counter   // circuit-breaker open transitions
 	breakerSkips                *obs.Counter   // calls skipped because a circuit was open
+	failovers                   *obs.Counter   // standbys promoted after a breaker stuck open
 	rpcTimeouts                 *obs.Counter   // site RPCs that expired their deadline
 	windowLatency               *obs.Histogram // one probe/prepare/commit round
 	requestLatency              *obs.Histogram // whole CoAllocate including retries
@@ -227,6 +228,7 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		allUnreachable: reg.Counter("broker.all_unreachable"),
 		breakerOpen:    reg.Counter("broker.site.breaker_open"),
 		breakerSkips:   reg.Counter("broker.site.breaker_skips"),
+		failovers:      reg.Counter("broker.site.failovers"),
 		rpcTimeouts:    reg.Counter("broker.rpc.timeout"),
 		windowLatency:  reg.Histogram("broker.window.latency"),
 		requestLatency: reg.Histogram("broker.request.latency"),
@@ -247,6 +249,7 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.all_unreachable", "requests rejected because no site answered")
 	reg.Help("broker.site.breaker_open", "circuit breakers opened after consecutive site failures")
 	reg.Help("broker.site.breaker_skips", "site calls skipped while a circuit was open")
+	reg.Help("broker.site.failovers", "standbys promoted after a site's breaker stuck open")
 	reg.Help("broker.rpc.timeout", "site RPCs that exceeded their deadline")
 	reg.Help("broker.window.latency", "one probe/prepare/commit round")
 	reg.Help("broker.request.latency", "whole CoAllocate including retries")
@@ -422,7 +425,47 @@ func (b *Broker) siteFailed(c Conn, err error) {
 			b.m.breakerOpen.Inc()
 		}
 		b.event(obs.EventBreakerOpen, slog.String("site", c.Name()), slog.String("cause", err.Error()))
+		b.tryFailover(c, err)
 	}
+}
+
+// tryFailover promotes a standby when a failover-capable connection's
+// breaker sticks open — the broker's dead-primary detector. h.failure
+// returns true only on the closed→open transition, so exactly one caller
+// per outage runs the promotion, and FailoverConn serializes internally
+// besides. Synchronous on purpose: the call that opened the breaker has
+// already failed, and the next round should find the promoted standby
+// rather than race the promotion.
+func (b *Broker) tryFailover(c Conn, cause error) {
+	fc, ok := c.(FailoverCapable)
+	if !ok {
+		return
+	}
+	target, err := fc.Failover("breaker open: " + cause.Error())
+	if err != nil {
+		// No standby left (or promotion failed): the breaker stays open and
+		// cools down like any plain outage.
+		b.event(obs.EventFailover,
+			slog.String("site", c.Name()),
+			slog.String("err", err.Error()))
+		return
+	}
+	// The promoted standby is a different node under the same name: close
+	// the breaker so the next round reaches it immediately, and drop every
+	// cached answer learned from the old primary — its epochs are fenced
+	// anyway, but there is no reason to wait for the epoch protocol to
+	// retire them one probe at a time.
+	if h := b.healthFor(c); h != nil {
+		h.success()
+	}
+	b.invalidateSiteCache(c)
+	if b.m != nil {
+		b.m.failovers.Inc()
+	}
+	b.event(obs.EventFailover,
+		slog.String("site", c.Name()),
+		slog.String("target", target),
+		slog.String("cause", cause.Error()))
 }
 
 // Health reports each site's breaker state in prepare order.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"time"
 
 	"coalloc/internal/calendar"
 	"coalloc/internal/core"
@@ -34,6 +35,44 @@ type SiteStatus struct {
 	Ops         uint64 // elementary tree operations (Fig. 7(b) metric)
 	Breakdown   calendar.OpsBreakdown
 	Utilization float64 // committed fraction of the active window
+
+	// Replication is the site's high-availability state; the zero value
+	// (Role == "") means the site does not replicate. Like the epoch
+	// fields in the wire replies, it rides gob's unknown-field tolerance:
+	// an old client simply does not decode it.
+	Replication ReplicationStatus
+}
+
+// ReplicaLag is one standby's position as seen by its primary.
+type ReplicaLag struct {
+	Name          string
+	AckedLSN      uint64 // highest LSN the standby persisted
+	RecordsBehind uint64 // journal records the standby has not acknowledged
+	BytesBehind   uint64 // journal payload bytes the standby has not acknowledged
+	Alive         bool   // the stream is connected and flowing
+	Err           string // last stream error, empty while healthy
+}
+
+// ReplicationStatus summarizes a site's replication role for Stats,
+// /statusz, and `gridctl replicas`. Role is "primary", "standby", or
+// "fenced"; "" means replication is not configured.
+type ReplicationStatus struct {
+	Role        string
+	Mode        string // "async" or "semi-sync"; primaries only
+	Incarnation uint64 // fencing number; bumped by every promotion
+	NextLSN     uint64 // local journal head
+	AckReplicas int    // semi-sync quorum; primaries only
+	Replicas    []ReplicaLag
+	// LastFailoverUnix is when this node was promoted (unix seconds);
+	// zero when it never was.
+	LastFailoverUnix int64
+}
+
+// SetReplicationStatus installs the provider of Status()'s replication
+// section; internal/replica calls it. fn is invoked outside the site lock
+// and must be safe for concurrent use.
+func (s *Site) SetReplicationStatus(fn func() ReplicationStatus) {
+	s.replStatus.Store(&fn)
 }
 
 // WriteText renders the status as aligned key/value lines — the format of
@@ -61,11 +100,55 @@ tree ops       total=%d search=%d update=%d rotate=%d
 		st.Sched.Submitted, st.Sched.Accepted, st.Sched.Rejected, st.Sched.Releases,
 		st.Sched.TotalAttempts, avgAttempts,
 		st.Ops, st.Breakdown.Search, st.Breakdown.Update, st.Breakdown.Rotate)
-	return err
+	if err != nil {
+		return err
+	}
+	return st.Replication.writeText(w)
 }
 
-// Status summarizes the site under its lock.
+// writeText renders the replication section of WriteText; silent when the
+// site does not replicate.
+func (r ReplicationStatus) writeText(w io.Writer) error {
+	if r.Role == "" {
+		return nil
+	}
+	lastFailover := "-"
+	if r.LastFailoverUnix != 0 {
+		lastFailover = time.Unix(r.LastFailoverUnix, 0).UTC().Format(time.RFC3339)
+	}
+	line := fmt.Sprintf("replication    role=%s incarnation=%d next_lsn=%d last_failover=%s",
+		r.Role, r.Incarnation, r.NextLSN, lastFailover)
+	if r.Mode != "" {
+		line += fmt.Sprintf(" mode=%s ack_replicas=%d", r.Mode, r.AckReplicas)
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, rep := range r.Replicas {
+		state := "up"
+		if !rep.Alive {
+			state = "down"
+		}
+		detail := ""
+		if rep.Err != "" {
+			detail = " err=" + rep.Err
+		}
+		if _, err := fmt.Fprintf(w, "  replica %-8s %s acked_lsn=%d behind=%d records, %d bytes%s\n",
+			rep.Name, state, rep.AckedLSN, rep.RecordsBehind, rep.BytesBehind, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status summarizes the site under its lock. The replication section is
+// gathered first, outside the lock: its provider (a replica.Primary or
+// Standby) holds its own locks and may consult the site.
 func (s *Site) Status() SiteStatus {
+	var repl ReplicationStatus
+	if fn := s.replStatus.Load(); fn != nil {
+		repl = (*fn)()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.sched.Now()
@@ -84,6 +167,7 @@ func (s *Site) Status() SiteStatus {
 		Ops:          s.sched.Ops(),
 		Breakdown:    s.sched.OpsBreakdown(),
 		Utilization:  s.sched.Utilization(now, end),
+		Replication:  repl,
 	}
 }
 

@@ -135,6 +135,19 @@ type Site struct {
 	walErr error    // sticky journal failure: the site refuses mutations
 	staged [][]byte // encoded ops applied in memory this batch, not yet appended
 
+	// replica role; see role.go. standbyFlag marks a standby applying the
+	// primary's stream; fencedFlag marks a deposed primary that must never
+	// mutate again. Atomics so the lock-free read path can consult them.
+	standbyFlag atomic.Bool
+	fencedFlag  atomic.Bool
+	fenceCause  string // guarded by mu
+
+	// replStatus, when set, supplies the replication section of Status():
+	// internal/replica registers its Primary/Standby here. Atomic and
+	// invoked before the site lock is taken, because the provider holds its
+	// own locks and may call back into the site.
+	replStatus atomic.Pointer[func() ReplicationStatus]
+
 	// stats
 	prepared, committed, aborted, expired uint64
 
@@ -375,7 +388,7 @@ func (s *Site) pruneCommittedLocked(now period.Time) {
 // a probe that moves the clock forward must expire leases, which is a
 // mutation, so it rides the write queue instead.
 func (s *Site) Probe(now, start, end period.Time) int {
-	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+	if v := s.view.Load(); v != nil && (now <= v.cal.Now() || s.readsFrozen()) {
 		return v.cal.Available(start, end)
 	}
 	n := 0
@@ -404,7 +417,7 @@ func (s *Site) ProbeView(now, start, end period.Time) (n int, epoch uint64, site
 // view-lookup span stamped with the answering epoch, a clock-moving
 // answer records its admission-queue ride.
 func (s *Site) ProbeViewTraced(tc obs.SpanContext, now, start, end period.Time) (n int, epoch uint64, siteNow period.Time) {
-	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+	if v := s.view.Load(); v != nil && (now <= v.cal.Now() || s.readsFrozen()) {
 		// The view lookup is the whole request here, so the fragment is one
 		// span admitted directly — no traceBuf, no handle — stamped with
 		// the epoch of the view that answered. Probes are the federation's
@@ -439,7 +452,7 @@ func (s *Site) RangeSearchView(now, start, end period.Time) (feasible []period.P
 // RangeSearchViewTraced is RangeSearchView as a fragment of the caller's
 // trace, mirroring ProbeViewTraced.
 func (s *Site) RangeSearchViewTraced(tc obs.SpanContext, now, start, end period.Time) (feasible []period.Period, epoch uint64, siteNow period.Time) {
-	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+	if v := s.view.Load(); v != nil && (now <= v.cal.Now() || s.readsFrozen()) {
 		if rec := s.recorder.Load(); rec != nil && tc.Valid() {
 			t0 := time.Now()
 			feasible = v.cal.RangeSearch(start, end)
@@ -477,7 +490,7 @@ func (s *Site) Epoch() uint64 {
 // served lock-free from the epoch view whenever now does not move the
 // clock.
 func (s *Site) RangeSearch(now, start, end period.Time) []period.Period {
-	if v := s.view.Load(); v != nil && now <= v.cal.Now() {
+	if v := s.view.Load(); v != nil && (now <= v.cal.Now() || s.readsFrozen()) {
 		return v.cal.RangeSearch(start, end)
 	}
 	var out []period.Period
@@ -509,6 +522,9 @@ func (s *Site) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string,
 	sp.Annotate(slog.String("hold", holdID), slog.Int("servers", servers))
 	var granted []int
 	err := s.submitWriteTraced(sp, func() error {
+		if err := s.roleOKLocked(); err != nil {
+			return err
+		}
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err
@@ -581,6 +597,9 @@ func (s *Site) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) 
 	sp := s.startSpan(tc, "site.commit")
 	sp.Annotate(slog.String("hold", holdID))
 	err := s.submitWriteTraced(sp, func() error {
+		if err := s.roleOKLocked(); err != nil {
+			return err
+		}
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err
@@ -619,6 +638,9 @@ func (s *Site) AbortTraced(tc obs.SpanContext, now period.Time, holdID string) e
 	sp := s.startSpan(tc, "site.abort")
 	sp.Annotate(slog.String("hold", holdID))
 	err := s.submitWriteTraced(sp, func() error {
+		if err := s.roleOKLocked(); err != nil {
+			return err
+		}
 		s.advanceLocked(now)
 		if err := s.walOKLocked(); err != nil {
 			return err

@@ -63,6 +63,36 @@ func (s *Site) snapshotLocked(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
+// ResetFromSnapshot replaces the site's state in place with a Snapshot
+// stream, keeping the *Site identity stable — servers and clients holding
+// the pointer (wire.Server, a standby's apply loop) see the new state on
+// their next operation. The replication layer uses it to bootstrap a
+// standby from a primary checkpoint. Role flags are preserved; the epoch
+// salt is redrawn like any restore, so no pre-reset cached answer can be
+// mistaken for the new state.
+func (s *Site) ResetFromSnapshot(r io.Reader) error {
+	t, err := RestoreSite(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.name != s.name {
+		return fmt.Errorf("grid %s: reset from snapshot of site %q", s.name, t.name)
+	}
+	s.sched = t.sched
+	s.holds = t.holds
+	s.committedHolds = t.committedHolds
+	s.prepared = t.prepared
+	s.committed = t.committed
+	s.aborted = t.aborted
+	s.expired = t.expired
+	s.epochSalt = t.epochSalt
+	s.staged = nil
+	s.publishLocked()
+	return nil
+}
+
 // RestoreSite reconstructs a site from a Snapshot stream.
 func RestoreSite(r io.Reader) (*Site, error) {
 	var snap siteSnapshot

@@ -38,6 +38,15 @@ const (
 	// availability answers — because the site reported a new epoch, or
 	// because the broker itself just mutated the site (2PC traffic).
 	EventCacheInvalidate = "cache_invalidate"
+
+	// Replication and failover events. EventPromote marks a standby taking
+	// over as primary under a fresh epoch salt; EventFenced marks a deposed
+	// primary learning a newer incarnation holds its role and refusing all
+	// further mutations; EventFailover marks a broker re-targeting a site
+	// conn from the failed primary to the promoted standby.
+	EventPromote  = "promote"
+	EventFenced   = "fenced"
+	EventFailover = "failover"
 )
 
 // Tracer receives structured per-request events. Implementations must be

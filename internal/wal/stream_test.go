@@ -1,0 +1,275 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestAppendBatchTornTailAtomic proves group-commit batches are atomic on
+// disk: for every possible kill offset across a batch's byte range — before
+// it, inside every record of it, and exactly at its end — recovery surfaces
+// either none of the batch or all of it, never a prefix. A prefix would be
+// a torn acknowledgment: AppendBatch acks nothing until the final record is
+// durable, so no prefix was ever promised to anyone.
+func TestAppendBatchTornTailAtomic(t *testing.T) {
+	pre := [][]byte{[]byte("pre-alpha"), []byte("pre-beta")}
+	batch := [][]byte{
+		[]byte("batch-record-one"),
+		bytes.Repeat([]byte("x"), 57),
+		[]byte("batch-record-three-the-last"),
+	}
+	var base int64 = segHeaderSize
+	for _, p := range pre {
+		base += frameSize(len(p))
+	}
+	var batchBytes int64
+	for _, p := range batch {
+		batchBytes += frameSize(len(p))
+	}
+
+	for kill := base; kill <= base+batchBytes; kill++ {
+		dir := t.TempDir()
+		inj := NewInjector(kill)
+		l, _, err := Open(dir, Options{Injector: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pre {
+			if _, err := l.Append(p); err != nil {
+				t.Fatalf("kill=%d: pre-record append failed early: %v", kill, err)
+			}
+		}
+		_, batchErr := l.AppendBatch(batch)
+		l.Close()
+
+		l2, rec := mustOpen(t, dir, Options{})
+		l2.Close()
+		if rec.TornTail != nil && kill == base+batchBytes {
+			t.Fatalf("kill=%d: full batch write reported torn tail %v", kill, rec.TornTail)
+		}
+		got := len(rec.Records) - len(pre)
+		if got < 0 {
+			t.Fatalf("kill=%d: lost pre-batch records, recovered %d", kill, len(rec.Records))
+		}
+		for i, p := range pre {
+			if !bytes.Equal(rec.Records[i], p) {
+				t.Fatalf("kill=%d: pre-record %d corrupted", kill, i)
+			}
+		}
+		switch got {
+		case 0:
+			// Whole batch dropped: fine for any kill inside the batch.
+			if batchErr == nil {
+				t.Fatalf("kill=%d: batch acknowledged but recovery dropped it", kill)
+			}
+			if rec.NextLSN != uint64(len(pre)+1) {
+				t.Fatalf("kill=%d: NextLSN = %d after dropped batch, want %d", kill, rec.NextLSN, len(pre)+1)
+			}
+		case len(batch):
+			// Whole batch present: every record must match.
+			for i, p := range batch {
+				if !bytes.Equal(rec.Records[len(pre)+i], p) {
+					t.Fatalf("kill=%d: batch record %d corrupted", kill, i)
+				}
+			}
+		default:
+			t.Fatalf("kill=%d: recovered %d of %d batch records — torn batch surfaced as a prefix", kill, got, len(batch))
+		}
+	}
+}
+
+// TestAppendBatchSingleRecordCompatible checks a one-record batch is framed
+// exactly like a plain Append (no batch bit), so logs stay readable by
+// pre-batch-bit code.
+func TestAppendBatchSingleRecordCompatible(t *testing.T) {
+	a := appendFrame(nil, []byte("solo"), false)
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if _, err := l.AppendBatch([][]byte{[]byte("solo")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data := readFileOrNil(dir + "/" + segName(1))
+	if !bytes.Equal(data[segHeaderSize:], a) {
+		t.Fatal("single-record batch framing differs from Append framing")
+	}
+}
+
+// TestReadRecordsTailsTheLog exercises the segment streaming iterator: reads
+// from arbitrary positions, across segment rotation, with byte budgets.
+func TestReadRecordsTailsTheLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentSize: 128})
+	defer l.Close()
+	var want [][]byte
+	for i := 0; i < 40; i++ {
+		p := []byte(fmt.Sprintf("rec-%02d-%s", i, bytes.Repeat([]byte{'p'}, i%13)))
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("segments = %d, want rotation for a cross-segment read", l.Segments())
+	}
+
+	for _, from := range []uint64{1, 2, 17, 39, 40} {
+		recs, err := l.ReadRecords(from, 0)
+		if err != nil {
+			t.Fatalf("ReadRecords(%d): %v", from, err)
+		}
+		if len(recs) != len(want)-int(from-1) {
+			t.Fatalf("ReadRecords(%d) = %d records, want %d", from, len(recs), len(want)-int(from-1))
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r, want[int(from-1)+i]) {
+				t.Fatalf("ReadRecords(%d): record %d mismatch", from, i)
+			}
+		}
+	}
+
+	// Past the end: empty, no error — the stream is simply caught up.
+	if recs, err := l.ReadRecords(41, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadRecords past end = %d recs, %v", len(recs), err)
+	}
+	// A byte budget bounds the read but always yields progress.
+	recs, err := l.ReadRecords(1, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("budgeted read = %d recs, %v; want exactly 1", len(recs), err)
+	}
+}
+
+// TestCheckpointRetainHoldsTruncation is the WAL half of the lagging-replica
+// fix: a checkpoint taken mid-stream must not delete segments the stream
+// still needs. Records at and after the retention floor stay readable;
+// records below it may go.
+func TestCheckpointRetainHoldsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentSize: 96})
+	defer l.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d-padpadpad", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A replica stream has only acknowledged through LSN 9: checkpoint with
+	// keep=10 and the tail from 10 on must survive.
+	if err := l.CheckpointRetain([]byte("snap"), 10); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.ReadRecords(10, 0)
+	if err != nil {
+		t.Fatalf("retained read: %v", err)
+	}
+	if len(recs) != 21 {
+		t.Fatalf("retained read = %d records, want 21", len(recs))
+	}
+	if string(recs[0]) != "record-09-padpadpad" {
+		t.Fatalf("retained read starts at %q", recs[0])
+	}
+	if l.OldestLSN() > 10 {
+		t.Fatalf("oldest readable LSN %d, want <= 10", l.OldestLSN())
+	}
+
+	// Appends continue in the same segment chain, and recovery still works:
+	// the checkpoint is the baseline, retained pre-checkpoint records are
+	// skipped, post-checkpoint appends replay.
+	if _, err := l.Append([]byte("after-retain")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, rec := mustOpen(t, dir, Options{SegmentSize: 96})
+	if rec.CheckpointLSN != 30 || string(rec.Checkpoint) != "snap" {
+		t.Fatalf("baseline = lsn %d %q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "after-retain" {
+		t.Fatalf("post-checkpoint records = %q", rec.Records)
+	}
+	if rec.TornTail != nil {
+		t.Fatalf("torn tail after retained checkpoint: %v", rec.TornTail)
+	}
+
+	// Once the stream acknowledges everything, a keep past the end truncates
+	// like a plain checkpoint and the old positions are gone.
+	if err := l2.CheckpointRetain([]byte("snap2"), l2.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Segments() != 1 {
+		t.Fatalf("segments after full truncate = %d, want 1", l2.Segments())
+	}
+	if _, err := l2.ReadRecords(5, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("read of truncated LSN = %v, want ErrCompacted", err)
+	}
+	l2.Close()
+}
+
+// TestSetNextLSNSeedsStandbyPosition checks a pristine log can be moved into
+// a primary's LSN space, and that a log with history cannot.
+func TestSetNextLSNSeedsStandbyPosition(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.SetNextLSN(501); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append([]byte("first-on-standby"))
+	if err != nil || lsn != 501 {
+		t.Fatalf("append = lsn %d, %v; want 501", lsn, err)
+	}
+	if err := l.SetNextLSN(900); err == nil {
+		t.Fatal("SetNextLSN accepted on a log with records")
+	}
+	if err := l.Checkpoint([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if rec.CheckpointLSN != 501 || rec.NextLSN != 502 {
+		t.Fatalf("recovered baseline lsn=%d next=%d, want 501/502", rec.CheckpointLSN, rec.NextLSN)
+	}
+}
+
+// TestSealFencesLog checks Seal survives restarts and blocks every mutation
+// while leaving reads working — the durable half of zombie fencing.
+func TestSealFencesLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if _, err := l.Append([]byte("before-seal")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal([]byte("fenced by promoted standby at incarnation 2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("zombie-write")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append on sealed log = %v, want ErrSealed", err)
+	}
+	if _, err := l.AppendBatch([][]byte{[]byte("zombie-batch")}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("batch on sealed log = %v, want ErrSealed", err)
+	}
+	if err := l.Checkpoint([]byte("zombie-snap")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("checkpoint on sealed log = %v, want ErrSealed", err)
+	}
+	if recs, err := l.ReadRecords(1, 0); err != nil || len(recs) != 1 {
+		t.Fatalf("sealed log read = %d recs, %v; reads must keep working", len(recs), err)
+	}
+	l.Close()
+
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if !rec.Sealed || string(rec.SealInfo) != "fenced by promoted standby at incarnation 2" {
+		t.Fatalf("seal not recovered: sealed=%v info=%q", rec.Sealed, rec.SealInfo)
+	}
+	if info, ok := l2.SealedInfo(); !ok || len(info) == 0 {
+		t.Fatal("SealedInfo lost after reopen")
+	}
+	if _, err := l2.Append([]byte("still-zombie")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append after reopen = %v, want ErrSealed", err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "before-seal" {
+		t.Fatalf("sealed log recovery lost records: %q", rec.Records)
+	}
+}

@@ -24,6 +24,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -38,7 +39,21 @@ import (
 const (
 	segMagic  = "CWALSEG1"
 	ckptMagic = "CWALCKP1"
+	sealMagic = "CWALSEAL"
 )
+
+// sealFile marks a sealed log; see Seal.
+const sealFile = "wal-sealed"
+
+// ErrSealed is returned by every mutating operation on a sealed log. A
+// fenced site seals its log so a stale incarnation can never journal again,
+// even across restarts.
+var ErrSealed = errors.New("wal: log sealed")
+
+// ErrCompacted reports that a requested LSN was truncated by a checkpoint
+// and is no longer readable; a replication stream that hits it must fall
+// back to a snapshot bootstrap.
+var ErrCompacted = errors.New("wal: records compacted")
 
 // segHeaderSize is the segment file header: magic plus the LSN of the
 // segment's first record.
@@ -117,7 +132,9 @@ type Recovery struct {
 	Records       [][]byte // durable record payloads after the checkpoint, in LSN order
 	NextLSN       uint64   // LSN the next append will receive
 	TornTail      *TornTail
-	Segments      int // live segment files after tail repair
+	Segments      int    // live segment files after tail repair
+	Sealed        bool   // the log was sealed; appends will fail with ErrSealed
+	SealInfo      []byte // the reason recorded by Seal, if sealed
 }
 
 // segInfo tracks one live segment.
@@ -143,6 +160,8 @@ type Log struct {
 	dirty    bool
 	err      error // sticky
 	closed   bool
+	sealed   bool
+	sealInfo []byte
 	scratch  []byte
 }
 
@@ -182,6 +201,8 @@ func Open(dir string, opt Options) (*Log, *Recovery, error) {
 	}
 
 	var segNames, ckptNames []string
+	var sealed bool
+	var sealInfo []byte
 	for _, e := range entries {
 		name := e.Name()
 		switch {
@@ -191,10 +212,14 @@ func Open(dir string, opt Options) (*Log, *Recovery, error) {
 			segNames = append(segNames, name)
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".ckpt"):
 			ckptNames = append(ckptNames, name)
+		case name == sealFile:
+			if info, err := parseSeal(readFileOrNil(filepath.Join(dir, name))); err == nil {
+				sealed, sealInfo = true, info
+			}
 		}
 	}
 
-	rec := &Recovery{NextLSN: 1}
+	rec := &Recovery{NextLSN: 1, Sealed: sealed, SealInfo: sealInfo}
 
 	// Newest structurally valid checkpoint wins; damaged ones are skipped.
 	sort.Sort(sort.Reverse(sort.StringSlice(ckptNames)))
@@ -246,7 +271,7 @@ func Open(dir string, opt Options) (*Log, *Recovery, error) {
 			continue
 		}
 		lsn := first
-		consumed, n, reason, _ := scanRecords(data[segHeaderSize:], func(p []byte) error {
+		consumed, n, reason, _ := scanRecords(data[segHeaderSize:], func(p []byte, _ bool) error {
 			if lsn > rec.CheckpointLSN {
 				rec.Records = append(rec.Records, append([]byte(nil), p...))
 			}
@@ -267,7 +292,7 @@ func Open(dir string, opt Options) (*Log, *Recovery, error) {
 		}
 	}
 
-	l := &Log{dir: dir, opt: opt, segs: segs, nextLSN: rec.NextLSN, lastSync: time.Now()}
+	l := &Log{dir: dir, opt: opt, segs: segs, nextLSN: rec.NextLSN, lastSync: time.Now(), sealed: sealed, sealInfo: sealInfo}
 	if len(segs) == 0 {
 		if err := l.newSegmentLocked(); err != nil {
 			return nil, nil, err
@@ -312,6 +337,35 @@ func parseCheckpoint(data []byte) (cover uint64, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("wal: checkpoint checksum mismatch")
 	}
 	return cover, payload, nil
+}
+
+// readFileOrNil reads path, mapping any error to nil bytes.
+func readFileOrNil(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// parseSeal validates a seal marker and returns the reason payload recorded
+// when the log was sealed. It never panics, whatever the input.
+func parseSeal(data []byte) ([]byte, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("wal: seal marker too short")
+	}
+	if string(data[:8]) != sealMagic {
+		return nil, fmt.Errorf("wal: bad seal magic")
+	}
+	n := binary.LittleEndian.Uint32(data[8:12])
+	if uint64(n) != uint64(len(data)-16) {
+		return nil, fmt.Errorf("wal: seal length mismatch")
+	}
+	info := data[16:]
+	if crc32.Checksum(info, castagnoli) != binary.LittleEndian.Uint32(data[12:16]) {
+		return nil, fmt.Errorf("wal: seal checksum mismatch")
+	}
+	return info, nil
 }
 
 // newSegmentLocked starts a fresh active segment whose first record will be
@@ -367,6 +421,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.err != nil {
 		return 0, fmt.Errorf("wal: %w", l.err)
 	}
+	if l.sealed {
+		return 0, ErrSealed
+	}
 	if len(payload) > MaxRecord {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
 	}
@@ -378,7 +435,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		active = &l.segs[len(l.segs)-1]
 	}
 	t0 := time.Now()
-	l.scratch = appendFrame(l.scratch[:0], payload)
+	l.scratch = appendFrame(l.scratch[:0], payload, false)
 	n, err := l.opt.Injector.write(l.f, l.scratch)
 	active.size += int64(n)
 	if err != nil {
@@ -407,8 +464,13 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // framed and buffered, then the active segment is fsynced at most once (per
 // the sync policy), amortizing the SyncAlways penalty across the batch. It
 // returns the LSN of the last record. On failure the log is poisoned exactly
-// as Append would be — none of the batch is acknowledged, and recovery
-// surfaces whatever durable prefix the crash left.
+// as Append would be — none of the batch is acknowledged.
+//
+// On disk the batch is atomic: all but its final record carry the batch bit,
+// so recovery after a crash that lands inside the batch drops the whole
+// batch, never a prefix of it. To keep that property a batch never spans
+// segments — rotation happens before the batch (the active segment may
+// overflow SegmentSize by up to one batch).
 func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -418,23 +480,30 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	if l.err != nil {
 		return 0, fmt.Errorf("wal: %w", l.err)
 	}
+	if l.sealed {
+		return 0, ErrSealed
+	}
 	if len(payloads) == 0 {
 		return l.nextLSN - 1, nil
 	}
-	var last uint64
+	var total int64
 	for _, payload := range payloads {
 		if len(payload) > MaxRecord {
 			return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
 		}
-		active := &l.segs[len(l.segs)-1]
-		if active.size+frameSize(len(payload)) > l.opt.SegmentSize && active.size > segHeaderSize {
-			if err := l.rotateLocked(); err != nil {
-				return 0, err
-			}
-			active = &l.segs[len(l.segs)-1]
+		total += frameSize(len(payload))
+	}
+	active := &l.segs[len(l.segs)-1]
+	if active.size+total > l.opt.SegmentSize && active.size > segHeaderSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
 		}
+		active = &l.segs[len(l.segs)-1]
+	}
+	var last uint64
+	for i, payload := range payloads {
 		t0 := time.Now()
-		l.scratch = appendFrame(l.scratch[:0], payload)
+		l.scratch = appendFrame(l.scratch[:0], payload, i < len(payloads)-1)
 		n, err := l.opt.Injector.write(l.f, l.scratch)
 		active.size += int64(n)
 		if err != nil {
@@ -509,6 +578,15 @@ func (l *Log) Sync() error {
 // across snapshot and checkpoint), otherwise a record appended between
 // snapshot and checkpoint would be wrongly truncated.
 func (l *Log) Checkpoint(snapshot []byte) error {
+	return l.CheckpointRetain(snapshot, 0)
+}
+
+// CheckpointRetain is Checkpoint with a retention floor: every record with
+// LSN >= keep stays readable afterwards, so a replication stream that has
+// only acknowledged up to keep-1 can still be served from the segments.
+// Only segments wholly below keep are deleted. keep == 0 (or keep past the
+// log's end) retains nothing beyond the new baseline — plain Checkpoint.
+func (l *Log) CheckpointRetain(snapshot []byte, keep uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -516,6 +594,9 @@ func (l *Log) Checkpoint(snapshot []byte) error {
 	}
 	if l.err != nil {
 		return fmt.Errorf("wal: %w", l.err)
+	}
+	if l.sealed {
+		return ErrSealed
 	}
 	t0 := time.Now()
 	cover := l.nextLSN - 1
@@ -555,29 +636,54 @@ func (l *Log) Checkpoint(snapshot []byte) error {
 		return l.fail(err)
 	}
 
-	// The new baseline is durable: drop every covered segment and stale
-	// checkpoint, then start a fresh segment.
-	if err := l.f.Close(); err != nil {
-		return l.fail(err)
-	}
-	for _, sg := range l.segs {
-		os.Remove(filepath.Join(l.dir, sg.name))
-	}
-	l.segs = l.segs[:0]
-	if entries, err := os.ReadDir(l.dir); err == nil {
-		for _, e := range entries {
-			name := e.Name()
-			if strings.HasSuffix(name, ".ckpt") && name != ckptName(cover) {
-				os.Remove(filepath.Join(l.dir, name))
-			}
+	// The new baseline is durable: drop the covered segments the retention
+	// floor allows and every stale checkpoint.
+	if keep == 0 || keep >= l.nextLSN {
+		// Nothing to retain: delete every segment and start fresh.
+		if err := l.f.Close(); err != nil {
+			return l.fail(err)
 		}
-	}
-	l.dirty = false
-	if err := l.newSegmentLocked(); err != nil {
-		return err
+		for _, sg := range l.segs {
+			os.Remove(filepath.Join(l.dir, sg.name))
+		}
+		l.segs = l.segs[:0]
+		l.dirty = false
+		l.removeStaleCheckpoints(cover)
+		if err := l.newSegmentLocked(); err != nil {
+			return err
+		}
+	} else {
+		// A replica stream still needs records from keep on: delete only
+		// segments wholly below it and keep appending to the active one.
+		cut := 0
+		for cut+1 < len(l.segs) && l.segs[cut+1].first <= keep {
+			cut++
+		}
+		for _, sg := range l.segs[:cut] {
+			os.Remove(filepath.Join(l.dir, sg.name))
+		}
+		l.segs = append(l.segs[:0], l.segs[cut:]...)
+		l.removeStaleCheckpoints(cover)
+		l.opt.Metrics.setSegments(len(l.segs))
 	}
 	l.opt.Metrics.observeCheckpoint(t0)
 	return nil
+}
+
+// removeStaleCheckpoints deletes every checkpoint file except the one
+// covering cover. Best effort: a leftover stale checkpoint is harmless
+// (Open prefers the newest valid one).
+func (l *Log) removeStaleCheckpoints(cover uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".ckpt") && name != ckptName(cover) {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
 }
 
 // NextLSN returns the sequence number the next append will receive.
@@ -585,6 +691,181 @@ func (l *Log) NextLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextLSN
+}
+
+// OldestLSN returns the LSN of the oldest record still readable from the
+// segments, or NextLSN when no records remain (fresh log, or everything
+// truncated by a checkpoint).
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.nextLSN
+	}
+	return l.segs[0].first
+}
+
+// ReadRecords reads back durable record payloads starting at LSN from, in
+// order, stopping after roughly maxBytes of payload (maxBytes <= 0 uses
+// 256 KiB); at least one record is returned when any is available. It is the
+// segment streaming iterator behind replication: a primary tails its own log
+// to feed standbys, including records not yet fsynced (a replica holding
+// more than the primary's stable storage is harmless). If from precedes the
+// oldest retained segment the caller gets ErrCompacted and must bootstrap
+// from a snapshot instead. Reading works on sealed and even poisoned logs —
+// draining a fenced log is exactly the failover path.
+func (l *Log) ReadRecords(from uint64, maxBytes int) ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("wal: log closed")
+	}
+	if from == 0 {
+		from = 1
+	}
+	if from >= l.nextLSN {
+		return nil, nil
+	}
+	if len(l.segs) == 0 || from < l.segs[0].first {
+		return nil, ErrCompacted
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 10
+	}
+	var out [][]byte
+	got := 0
+	for i := range l.segs {
+		sg := l.segs[i]
+		if i+1 < len(l.segs) && l.segs[i+1].first <= from {
+			continue // segment wholly before the requested position
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, sg.name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if int64(len(data)) > sg.size {
+			data = data[:sg.size]
+		}
+		if len(data) < segHeaderSize {
+			break // torn header after a poisoning crash; nothing durable here
+		}
+		lsn := sg.first
+		done := false
+		_, _, _, scanErr := scanRecords(data[segHeaderSize:], func(p []byte, _ bool) error {
+			if lsn >= from && !done {
+				out = append(out, p)
+				got += len(p)
+				if got >= maxBytes {
+					done = true
+				}
+			}
+			lsn++
+			return nil
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		if done {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SetNextLSN repositions a pristine log (no records or checkpoints ever
+// written) so its first record receives LSN next. A standby seeding itself
+// from a primary snapshot uses this to keep its local log in the primary's
+// LSN space, so checkpoints and stream positions line up exactly.
+func (l *Log) SetNextLSN(next uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("wal: %w", l.err)
+	}
+	if l.sealed {
+		return ErrSealed
+	}
+	if next == 0 {
+		return fmt.Errorf("wal: LSNs are 1-based")
+	}
+	if l.nextLSN != 1 || len(l.segs) != 1 || l.segs[0].size != segHeaderSize {
+		return fmt.Errorf("wal: SetNextLSN on a non-pristine log")
+	}
+	if next == l.nextLSN {
+		return nil
+	}
+	old := l.segs[0]
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	os.Remove(filepath.Join(l.dir, old.name))
+	l.segs = l.segs[:0]
+	l.nextLSN = next
+	return l.newSegmentLocked()
+}
+
+// Seal durably marks the log read-only: every later mutation fails with
+// ErrSealed, here and after any number of re-opens, until an operator
+// removes the marker file. A site that learns it has been fenced (a standby
+// was promoted in its place) seals its log so the stale incarnation can
+// never journal again. info records why, for the operator. Sealing an
+// already-poisoned log is allowed — that is the expected zombie state.
+func (l *Log) Seal(info []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.sealed {
+		return nil
+	}
+	// Flush whatever the tail holds so the seal marks a clean boundary; on a
+	// poisoned log there is nothing more to save.
+	if l.err == nil && l.f != nil {
+		l.syncLocked()
+	}
+	hdr := make([]byte, 16)
+	copy(hdr[:8], sealMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(info)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(info, castagnoli))
+	tmp := filepath.Join(l.dir, sealFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err = f.Write(hdr); err == nil {
+		_, err = f.Write(info)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, sealFile)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := fsyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.sealed = true
+	l.sealInfo = append([]byte(nil), info...)
+	return nil
+}
+
+// SealedInfo reports whether the log is sealed and the reason recorded by
+// Seal.
+func (l *Log) SealedInfo() ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealInfo, l.sealed
 }
 
 // Segments returns the number of live segment files.

@@ -1,0 +1,334 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+	"time"
+
+	"coalloc/internal/grid"
+	"coalloc/internal/replica"
+)
+
+// ReplicaServiceName is the RPC service a standby registers next to its
+// (read-only) site service. It carries the replication stream from the
+// primary plus the control calls a broker's failover path needs.
+const ReplicaServiceName = "CoallocReplica"
+
+// ReplicaHandler is the standby-side surface the replication service
+// adapts; *replica.Standby implements it.
+type ReplicaHandler interface {
+	Handshake(h replica.Hello) (replica.HelloReply, error)
+	ApplyBatch(b replica.Batch) (uint64, error)
+	ApplySnapshot(s replica.Snapshot) (uint64, error)
+	Promote(cause string) (replica.Promotion, error)
+	Status() grid.ReplicationStatus
+}
+
+var (
+	_ ReplicaHandler        = (*replica.Standby)(nil)
+	_ ReplicaStatusReporter = (*replica.Primary)(nil)
+)
+
+// ReplHelloArgs opens (or reopens) the stream.
+type ReplHelloArgs struct{ Hello replica.Hello }
+
+// ReplHelloReply tells the primary where to resume.
+type ReplHelloReply struct{ Reply replica.HelloReply }
+
+// ReplBatchArgs ships one contiguous run of journal records.
+type ReplBatchArgs struct{ Batch replica.Batch }
+
+// ReplAckReply acknowledges the standby's new durable position.
+type ReplAckReply struct{ Ack uint64 }
+
+// ReplSnapshotArgs bootstraps a standby from a primary checkpoint.
+type ReplSnapshotArgs struct{ Snapshot replica.Snapshot }
+
+// ReplPromoteArgs promotes the standby into a primary.
+type ReplPromoteArgs struct{ Cause string }
+
+// ReplPromoteReply reports the promotion outcome.
+type ReplPromoteReply struct{ Promotion replica.Promotion }
+
+// ReplStatusArgs requests the node's replication state.
+type ReplStatusArgs struct{}
+
+// ReplStatusReply carries it.
+type ReplStatusReply struct{ Status grid.ReplicationStatus }
+
+// replicaService adapts a ReplicaHandler to net/rpc. Fencing and ordering
+// errors travel on the RPC error channel as flattened strings; the
+// primary's grid.IsFencedErr matches them by message, which is exactly why
+// that predicate matches substrings rather than error identities.
+type replicaService struct {
+	h ReplicaHandler
+}
+
+// Handshake implements the RPC method.
+func (s *replicaService) Handshake(args ReplHelloArgs, reply *ReplHelloReply) error {
+	hr, err := s.h.Handshake(args.Hello)
+	if err != nil {
+		return err
+	}
+	reply.Reply = hr
+	return nil
+}
+
+// Append implements the RPC method.
+func (s *replicaService) Append(args ReplBatchArgs, reply *ReplAckReply) error {
+	ack, err := s.h.ApplyBatch(args.Batch)
+	if err != nil {
+		return err
+	}
+	reply.Ack = ack
+	return nil
+}
+
+// Snapshot implements the RPC method.
+func (s *replicaService) Snapshot(args ReplSnapshotArgs, reply *ReplAckReply) error {
+	ack, err := s.h.ApplySnapshot(args.Snapshot)
+	if err != nil {
+		return err
+	}
+	reply.Ack = ack
+	return nil
+}
+
+// Promote implements the RPC method.
+func (s *replicaService) Promote(args ReplPromoteArgs, reply *ReplPromoteReply) error {
+	p, err := s.h.Promote(args.Cause)
+	if err != nil {
+		return err
+	}
+	reply.Promotion = p
+	return nil
+}
+
+// Status implements the RPC method.
+func (s *replicaService) Status(_ ReplStatusArgs, reply *ReplStatusReply) error {
+	reply.Status = s.h.Status()
+	return nil
+}
+
+// EnableReplication registers the replication service alongside the site
+// service, so one listener serves both reads (brokers) and the stream
+// (the primary). Call before Serve.
+func (s *Server) EnableReplication(h ReplicaHandler) error {
+	if err := s.rpc.RegisterName(ReplicaServiceName, &replicaService{h: h}); err != nil {
+		return fmt.Errorf("wire: register replication: %w", err)
+	}
+	return nil
+}
+
+// ReplicaStatusReporter is the primary-side slice of the replication
+// surface: no stream, no promotion, just "who am I and how far behind is
+// everyone". *replica.Primary implements it.
+type ReplicaStatusReporter interface {
+	Status() grid.ReplicationStatus
+}
+
+// replicaStatusService exposes Status alone, so a primary answers gridctl
+// replicas without pretending it can accept a stream or a promotion —
+// those calls fail with "can't find method", which is the truth.
+type replicaStatusService struct {
+	r ReplicaStatusReporter
+}
+
+// Status implements the RPC method.
+func (s *replicaStatusService) Status(_ ReplStatusArgs, reply *ReplStatusReply) error {
+	reply.Status = s.r.Status()
+	return nil
+}
+
+// EnableReplicationStatus registers the status-only replication service
+// under the same name the full service uses, so `gridctl replicas` works
+// against either role. Primaries call this; standbys use
+// EnableReplication.
+func (s *Server) EnableReplicationStatus(r ReplicaStatusReporter) error {
+	if err := s.rpc.RegisterName(ReplicaServiceName, &replicaStatusService{r: r}); err != nil {
+		return fmt.Errorf("wire: register replication status: %w", err)
+	}
+	return nil
+}
+
+// ReplicaClient is the primary's (and a failover broker's) handle to a
+// remote standby. It implements replica.Conn for the stream and
+// grid.Promoter for failover. Like Client it severs and lazily redials a
+// broken transport, and bounds every call by cfg.CallTimeout.
+type ReplicaClient struct {
+	network string
+	addr    string
+	cfg     ClientConfig
+
+	mu     sync.Mutex
+	c      *rpc.Client
+	closed bool
+}
+
+var (
+	_ replica.Conn  = (*ReplicaClient)(nil)
+	_ grid.Promoter = (*ReplicaClient)(nil)
+)
+
+// DialReplica connects to a standby's replication service. Unlike
+// DialConfig it performs no identity handshake: the stream's own Hello
+// carries (and checks) the site identity.
+func DialReplica(network, addr string, cfg ClientConfig) (*ReplicaClient, error) {
+	c := &ReplicaClient{network: network, addr: addr, cfg: cfg}
+	rc, err := c.redialLocked()
+	if err != nil {
+		return nil, err
+	}
+	c.c = rc
+	return c, nil
+}
+
+// redialLocked establishes a fresh transport honoring DialTimeout.
+func (c *ReplicaClient) redialLocked() (*rpc.Client, error) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	if c.cfg.DialTimeout > 0 {
+		conn, err = net.DialTimeout(c.network, c.addr, c.cfg.DialTimeout)
+	} else {
+		conn, err = net.Dial(c.network, c.addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial replica %s: %w", c.addr, err)
+	}
+	if c.cfg.CallTimeout > 0 {
+		conn = &deadlineConn{Conn: conn, writeTimeout: c.cfg.CallTimeout}
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// client returns the live transport, redialing a severed one.
+func (c *ReplicaClient) client() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, rpc.ErrShutdown
+	}
+	if c.c != nil {
+		return c.c, nil
+	}
+	rc, err := c.redialLocked()
+	if err != nil {
+		return nil, err
+	}
+	c.c = rc
+	return rc, nil
+}
+
+// sever discards a broken transport so the next call redials.
+func (c *ReplicaClient) sever(broken *rpc.Client) {
+	c.mu.Lock()
+	if c.c == broken {
+		c.c = nil
+	}
+	c.mu.Unlock()
+	broken.Close()
+}
+
+// call routes one replication RPC through the deadline wrapper; see
+// Client.callOnce for the timeout discipline it mirrors.
+func (c *ReplicaClient) call(method string, args, reply any) error {
+	rc, err := c.client()
+	if err != nil {
+		return err
+	}
+	if c.cfg.CallTimeout <= 0 {
+		err := rc.Call(ReplicaServiceName+"."+method, args, reply)
+		if isConnError(err) {
+			c.sever(rc)
+		}
+		return err
+	}
+	call := rc.Go(ReplicaServiceName+"."+method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(c.cfg.CallTimeout)
+	defer timer.Stop()
+	select {
+	case done := <-call.Done:
+		if isConnError(done.Error) {
+			c.sever(rc)
+		}
+		return done.Error
+	case <-timer.C:
+		c.sever(rc)
+		return fmt.Errorf("wire: replica %s %s after %v: %w", method, c.addr, c.cfg.CallTimeout, os.ErrDeadlineExceeded)
+	}
+}
+
+// Handshake implements replica.Conn.
+func (c *ReplicaClient) Handshake(h replica.Hello) (replica.HelloReply, error) {
+	var reply ReplHelloReply
+	if err := c.call("Handshake", ReplHelloArgs{Hello: h}, &reply); err != nil {
+		return replica.HelloReply{}, err
+	}
+	return reply.Reply, nil
+}
+
+// Append implements replica.Conn.
+func (c *ReplicaClient) Append(b replica.Batch) (uint64, error) {
+	var reply ReplAckReply
+	if err := c.call("Append", ReplBatchArgs{Batch: b}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Ack, nil
+}
+
+// ApplySnapshot implements replica.Conn.
+func (c *ReplicaClient) ApplySnapshot(s replica.Snapshot) (uint64, error) {
+	var reply ReplAckReply
+	if err := c.call("Snapshot", ReplSnapshotArgs{Snapshot: s}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Ack, nil
+}
+
+// PromoteReplica implements grid.Promoter, so a broker's FailoverConn can
+// promote this standby when the primary's breaker sticks open.
+func (c *ReplicaClient) PromoteReplica(cause string) (epoch, incarnation uint64, err error) {
+	var reply ReplPromoteReply
+	if err := c.call("Promote", ReplPromoteArgs{Cause: cause}, &reply); err != nil {
+		return 0, 0, err
+	}
+	return reply.Promotion.Epoch, reply.Promotion.Incarnation, nil
+}
+
+// ReplicaPosition implements grid.Promoter: the standby's journal head,
+// for picking the most caught-up failover candidate.
+func (c *ReplicaClient) ReplicaPosition() (uint64, error) {
+	st, err := c.ReplicaStatus()
+	if err != nil {
+		return 0, err
+	}
+	return st.NextLSN, nil
+}
+
+// ReplicaStatus fetches the node's replication state (gridctl replicas).
+func (c *ReplicaClient) ReplicaStatus() (grid.ReplicationStatus, error) {
+	var reply ReplStatusReply
+	if err := c.call("Status", ReplStatusArgs{}, &reply); err != nil {
+		return grid.ReplicationStatus{}, err
+	}
+	return reply.Status, nil
+}
+
+// Close implements replica.Conn; it releases the transport and refuses
+// further redials.
+func (c *ReplicaClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.c == nil {
+		return nil
+	}
+	err := c.c.Close()
+	c.c = nil
+	return err
+}
