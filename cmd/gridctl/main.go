@@ -74,10 +74,17 @@ func main() {
 		cache     = flag.Bool("cache", false, "cache probe answers under each site's epoch and coalesce identical in-flight probes (speeds up the Δt retry ladder)")
 		cacheBkt  = flag.Int64("cache-bucket", 900, "cache key quantum for window starts and durations, in simulation seconds")
 		cacheMax  = flag.Int("cache-entries", 4096, "cached windows kept per site")
+		watch     = flag.Bool("cache-watch", false, "subscribe to each site's epoch watch stream so pushed epoch bumps invalidate the cache immediately (requires -cache)")
+		watchPoll = flag.Duration("watch-poll", 10*time.Second, "bound on one watch long-poll (idle re-poll cadence; events arrive immediately regardless)")
+		batch     = flag.Bool("cache-batch", false, "prefetch the whole Δt retry ladder in one batched probe RPC per site (requires -cache)")
 		cfg       = timeoutFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
+	if (*watch || *batch) && !*cache {
+		fmt.Fprintln(os.Stderr, "gridctl: -cache-watch and -cache-batch require -cache (they feed the availability cache)")
+		os.Exit(1)
+	}
 	var conns []grid.Conn
 	for _, addr := range strings.Split(*sites, ",") {
 		addr = strings.TrimSpace(addr)
@@ -105,11 +112,15 @@ func main() {
 		ProbeCache:       *cache,
 		CacheBucket:      period.Duration(*cacheBkt),
 		CacheEntries:     *cacheMax,
+		CacheWatch:       *watch,
+		WatchPoll:        *watchPoll,
+		BatchProbe:       *batch,
 	}, conns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridctl:", err)
 		os.Exit(1)
 	}
+	defer broker.Close()
 
 	s := period.Time(*start)
 	e := s.Add(period.Duration(*duration))
@@ -149,8 +160,12 @@ func printCacheStats(b *grid.Broker, enabled bool) {
 		return
 	}
 	cs := b.CacheStats()
-	fmt.Printf("cache: %d hits, %d misses, %d coalesced, %d stale, %d invalidated\n",
-		cs.Hits, cs.Misses, cs.Coalesced, cs.Stale, cs.Invalidations)
+	fmt.Printf("cache: %d hits, %d misses, %d coalesced, %d stale, %d invalidated, %d reordered\n",
+		cs.Hits, cs.Misses, cs.Coalesced, cs.Stale, cs.Invalidations, cs.Reordered)
+	if cs.WatchEvents > 0 || cs.WatchGaps > 0 || cs.BatchProbes > 0 {
+		fmt.Printf("cache: %d watch events, %d watch gaps, %d batched probes\n",
+			cs.WatchEvents, cs.WatchGaps, cs.BatchProbes)
+	}
 }
 
 // printBreakerStats reports each site's circuit-breaker state, so a partial

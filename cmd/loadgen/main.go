@@ -9,6 +9,7 @@
 //	loadgen -mode cache               # availability cache vs raw RPC probes
 //	loadgen -mode trace-overhead      # always-on flight recorder vs tracing off
 //	loadgen -mode failover            # replicated site losing its primary mid-run
+//	loadgen -mode stale               # passive vs push-invalidated cache staleness
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
@@ -40,6 +41,13 @@
 // (recovery gap in milliseconds, the error burst while the breaker counts
 // down) and what it preserves: lostAcked audits every acknowledged grant
 // against the promoted node and must be 0.
+//
+// -mode stale times the stale-cache window itself: a second broker mutates a
+// window the first broker has cached, every -mutate-every, and the run
+// reports how long the cached answer stays wrong — first with passive
+// (reply-driven) invalidation, then with the epoch watch stream pushing the
+// bump. It also compares the Δt ladder's probe round trips with the batched
+// probe RPC off and on.
 //
 // Each mode runs the client counts given by -clients back to back against a
 // fresh seeded site, so the numbers across counts are comparable. The
@@ -246,13 +254,14 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, or failover")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, failover, or stale")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
 	callTimeout := flag.Duration("call-timeout", 200*time.Millisecond, "per-RPC deadline for -mode chaos and -mode cache")
 	seed := flag.Int64("seed", 1, "fault-injection seed for -mode chaos")
 	cacheWindows := flag.Int("cache-windows", 8, "distinct probe windows cycled by -mode cache (smaller = more repeat-heavy)")
+	mutateEvery := flag.Duration("mutate-every", 50*time.Millisecond, "interval between cache-invalidating mutations in -mode stale (also the staleness censoring cap)")
 	flag.Parse()
 
 	switch *mode {
@@ -268,6 +277,9 @@ func main() {
 		return
 	case "failover":
 		failoverMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *seed, *out)
+		return
+	case "stale":
+		staleMain(*servers, *slotSize, *slots, *dur, *mutateEvery, *callTimeout, *out)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunStalePhases runs both halves of the -mode stale comparison at a
+// small scale and checks the property the benchmark exists to show: with
+// the watch stream on, the observer converges inside the mutation interval;
+// without it, the hot cached answer censors at the cap every time.
+func TestRunStalePhases(t *testing.T) {
+	const (
+		servers  = 8
+		slotSize = 900
+		slots    = 96
+	)
+	dur := 200 * time.Millisecond
+	every := 25 * time.Millisecond
+	timeout := 2 * time.Second
+
+	passive, err := runStalePhase("passive", false, servers, slotSize, slots, dur, every, timeout)
+	if err != nil {
+		t.Fatalf("passive phase: %v", err)
+	}
+	if passive.Toggles == 0 {
+		t.Fatalf("passive phase performed no mutations: %+v", passive)
+	}
+	if passive.Converged != 0 || passive.Censored != passive.Toggles {
+		t.Errorf("passive phase should censor every toggle (repeat probes are cache hits): %+v", passive)
+	}
+	if passive.WatchEvents != 0 {
+		t.Errorf("passive phase saw %d watch events with CacheWatch off", passive.WatchEvents)
+	}
+
+	push, err := runStalePhase("push", true, servers, slotSize, slots, dur, every, timeout)
+	if err != nil {
+		t.Fatalf("push phase: %v", err)
+	}
+	if push.Toggles == 0 {
+		t.Fatalf("push phase performed no mutations: %+v", push)
+	}
+	if push.Converged != push.Toggles {
+		t.Errorf("push phase should converge every toggle within %v: %+v", every, push)
+	}
+	if push.WatchEvents == 0 {
+		t.Errorf("push phase converged without watch events: %+v", push)
+	}
+	if push.FreshP99Millis >= passive.FreshP50Millis {
+		t.Errorf("push p99 %.2fms not below passive p50 %.2fms", push.FreshP99Millis, passive.FreshP50Millis)
+	}
+}
+
+// TestRunStaleBatch checks the round-trip comparison: the batched ladder
+// prefetch must answer the whole ladder in one RPC per request where the
+// per-window regime pays one unary probe per rung.
+func TestRunStaleBatch(t *testing.T) {
+	b, err := runStaleBatch(32, 900, 96, 2*time.Second)
+	if err != nil {
+		t.Fatalf("runStaleBatch: %v", err)
+	}
+	if b.TripsPerReqOff != float64(b.LadderWindows) {
+		t.Errorf("unbatched regime should pay one probe per rung: got %.1f trips/request, ladder %d", b.TripsPerReqOff, b.LadderWindows)
+	}
+	if b.TripsPerReqOn != 1 {
+		t.Errorf("batched regime should pay one RPC per request: got %.1f", b.TripsPerReqOn)
+	}
+	if b.BatchRPCs != uint64(b.Requests) {
+		t.Errorf("expected %d batch RPCs, got %d", b.Requests, b.BatchRPCs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	mrand "math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coalloc/internal/obs"
@@ -125,6 +126,27 @@ type BrokerConfig struct {
 	CacheBucket period.Duration
 	// CacheEntries bounds the cached windows per site; default 4096.
 	CacheEntries int
+	// CacheWatch subscribes the broker to each site's epoch watch stream
+	// (one long-poll loop per site connection): the site pushes epoch bumps
+	// the moment a mutation publishes a new view, so the cache invalidates
+	// proactively instead of discovering staleness at the next miss. Sites
+	// that do not speak the watch protocol degrade silently to the passive
+	// per-reply regime. Requires ProbeCache; off by default. A broker with
+	// watchers running should be Closed when done.
+	CacheWatch bool
+	// WatchPoll bounds one watch long-poll: the server parks the call until
+	// the epoch moves or this duration elapses, whichever is first. Default
+	// 10s. Smaller values cost idle round trips; larger ones only delay
+	// Close and interact with server-side idle timeouts (see wire).
+	WatchPoll time.Duration
+	// BatchProbe prefetches a whole Δt retry ladder's candidate windows in
+	// one batched RPC per site at the start of CoAllocate, cutting the
+	// dominant round-trip count from O(ladder × sites) toward O(sites).
+	// Answers land in the availability cache (BatchProbe therefore requires
+	// ProbeCache) and the ladder's per-window probes hit locally. Sites
+	// that do not speak the batch RPC degrade silently to per-window
+	// probes. Off by default.
+	BatchProbe bool
 	// Registry, if non-nil, receives 2PC outcome counters and window
 	// latencies under the "broker." prefix.
 	Registry *obs.Registry
@@ -179,6 +201,9 @@ func (c *BrokerConfig) applyDefaults() {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
 	}
+	if c.WatchPoll <= 0 {
+		c.WatchPoll = 10 * time.Second
+	}
 }
 
 // BrokerStats counts protocol outcomes.
@@ -212,6 +237,10 @@ type brokerMetrics struct {
 	cacheCoalesced     *obs.Counter
 	cacheInvalidations *obs.Counter
 	cacheEvictions     *obs.Counter
+	cacheReordered     *obs.Counter
+	cacheWatchEvents   *obs.Counter
+	cacheWatchGaps     *obs.Counter
+	cacheBatchProbes   *obs.Counter
 }
 
 func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
@@ -239,6 +268,10 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		cacheCoalesced:     reg.Counter("broker.cache.coalesced"),
 		cacheInvalidations: reg.Counter("broker.cache.invalidations"),
 		cacheEvictions:     reg.Counter("broker.cache.evictions"),
+		cacheReordered:     reg.Counter("broker.cache.reordered"),
+		cacheWatchEvents:   reg.Counter("broker.cache.watch_events"),
+		cacheWatchGaps:     reg.Counter("broker.cache.watch_gaps"),
+		cacheBatchProbes:   reg.Counter("broker.cache.batch_probes"),
 	}
 	reg.Help("broker.requests", "cross-site co-allocation requests")
 	reg.Help("broker.granted", "requests committed atomically across sites")
@@ -259,6 +292,10 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.cache.coalesced", "probes that joined another caller's in-flight RPC")
 	reg.Help("broker.cache.invalidations", "site-wide cache drops around the broker's own 2PC traffic")
 	reg.Help("broker.cache.evictions", "cache entries displaced by the per-site bound")
+	reg.Help("broker.cache.reordered", "delayed replies from superseded epochs, dropped without adoption")
+	reg.Help("broker.cache.watch_events", "epoch bumps delivered over the watch stream")
+	reg.Help("broker.cache.watch_gaps", "watch stream gaps that forced a conservative site-wide drop")
+	reg.Help("broker.cache.batch_probes", "batched ladder-probe RPCs issued")
 	return m
 }
 
@@ -289,6 +326,15 @@ type Broker struct {
 
 	rngMu sync.Mutex
 	rng   *mrand.Rand // jitter source
+
+	// watch subscription lifecycle; see watch.go. watchStop is non-nil iff
+	// watchers were started (cfg.CacheWatch over a watch-capable conn).
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+
+	// batchBad[i] is set once site i answered the batched ladder probe with
+	// "unsupported", so the prefetch never asks it again this connection.
+	batchBad []atomic.Bool
 
 	mu       sync.Mutex
 	nextHold int64
@@ -339,8 +385,42 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 	}
 	if cfg.ProbeCache {
 		b.cache = newProbeCache(cfg.CacheBucket, cfg.CacheEntries, b.m)
+		b.batchBad = make([]atomic.Bool, len(ordered))
+		// A failover re-target swaps the node behind a site name, so every
+		// cached answer keyed by that name describes the deposed primary.
+		// Hook the drop into the connection itself: manual promotions
+		// (gridctl promote, tests calling Failover directly) must flush the
+		// cache exactly like breaker-driven ones.
+		for _, c := range ordered {
+			if rn, ok := c.(retargetNotifier); ok {
+				site := c.Name()
+				rn.OnRetarget(func(target string) {
+					if b.cache.invalidate(site) {
+						b.event(obs.EventCacheInvalidate,
+							slog.String("site", site),
+							slog.String("cause", "failover"),
+							slog.String("target", target))
+					}
+				})
+			}
+		}
+		if cfg.CacheWatch {
+			b.startWatchers()
+		}
 	}
 	return b, nil
+}
+
+// Close stops the broker's background work (the watch subscription loops).
+// Safe to call on a broker without watchers; does not close the site
+// connections.
+func (b *Broker) Close() error {
+	if b.watchStop != nil {
+		close(b.watchStop)
+		b.watchWG.Wait()
+		b.watchStop = nil
+	}
+	return nil
 }
 
 // newEpoch draws a random per-broker-instance token. crypto/rand never
@@ -557,6 +637,9 @@ func (b *Broker) CoAllocate(now period.Time, req Request) (MultiAllocation, erro
 	start := req.Start
 	if start < now {
 		start = now
+	}
+	if b.cfg.BatchProbe && b.cache != nil {
+		b.prefetchLadder(root, now, start, req.Duration)
 	}
 	var lastErr error
 	for attempt := 1; attempt <= b.cfg.MaxAttempts; attempt++ {
@@ -782,7 +865,7 @@ func (b *Broker) cachedProbe(c Conn, tc obs.SpanContext, now, start, end period.
 				slog.String("cause", "epoch"),
 				slog.Int("entries", dropped))
 		}
-		pc.store(site, kindProbe, start, end, r.Epoch, r.SiteNow, r, nil)
+		pc.store(site, kindProbe, start, end, r.Epoch, r.SiteNow, r, nil, fl.gen)
 	}
 	fl.probe, fl.err = r, err
 	pc.finish(key, fl)
@@ -815,7 +898,7 @@ func (b *Broker) cachedRange(c RangeConn, now, start, end period.Time) (feasible
 				slog.String("cause", "epoch"),
 				slog.Int("entries", dropped))
 		}
-		pc.store(site, kindRange, start, end, rr.Epoch, rr.SiteNow, ProbeResult{}, rr.Feasible)
+		pc.store(site, kindRange, start, end, rr.Epoch, rr.SiteNow, ProbeResult{}, rr.Feasible, fl.gen)
 	}
 	fl.feasible, fl.err = rr.Feasible, err
 	pc.finish(key, fl)

@@ -1,6 +1,8 @@
 package grid
 
 import (
+	"time"
+
 	"coalloc/internal/obs"
 	"coalloc/internal/period"
 )
@@ -184,7 +186,28 @@ func (l LocalConn) AbortTraced(tc obs.SpanContext, now period.Time, holdID strin
 	return l.Site.AbortTraced(tc, now, holdID)
 }
 
+// WatchEpoch implements WatchConn: the in-process long poll is a direct
+// park on the site's publish broadcast.
+func (l LocalConn) WatchEpoch(after uint64, maxWait time.Duration) (EpochEvent, bool, error) {
+	epoch, salt, siteNow, changed := l.Site.WaitEpoch(after, maxWait)
+	return EpochEvent{Epoch: epoch, Salt: salt, SiteNow: siteNow}, changed, nil
+}
+
+// ProbeBatch implements BatchProbeConn: in process there is no round trip
+// to amortize, so it simply answers every window from the read path.
+func (l LocalConn) ProbeBatch(now period.Time, windows []Window) ([]ProbeResult, error) {
+	out := make([]ProbeResult, len(windows))
+	capacity := l.Site.Servers()
+	for i, w := range windows {
+		n, epoch, siteNow := l.Site.ProbeView(now, w.Start, w.End)
+		out[i] = ProbeResult{Available: n, Capacity: capacity, Epoch: epoch, SiteNow: siteNow}
+	}
+	return out, nil
+}
+
 var (
-	_ RangeConn  = LocalConn{}
-	_ TracedConn = LocalConn{}
+	_ RangeConn      = LocalConn{}
+	_ TracedConn     = LocalConn{}
+	_ WatchConn      = LocalConn{}
+	_ BatchProbeConn = LocalConn{}
 )

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"coalloc/internal/obs"
 	"coalloc/internal/period"
@@ -49,6 +50,12 @@ type FailoverConn struct {
 	standbys  []FailoverTarget
 	failovers int
 	lastCause string
+	// onRetarget callbacks fire (outside the lock) after every successful
+	// re-target. The broker registers a cache drop here: the cache keys by
+	// site name, and every entry computed against the deposed primary is
+	// void the moment traffic routes to the promoted standby — whether the
+	// failover was breaker-driven or an operator's gridctl promote.
+	onRetarget []func(target string)
 }
 
 // NewFailoverConn builds a failover-aware connection over a primary and
@@ -72,16 +79,42 @@ func (f *FailoverConn) Failovers() (int, string) {
 	return f.failovers, f.lastCause
 }
 
+// OnRetarget registers a callback to run after every successful failover
+// re-target, with the promoted connection's name. Callbacks run outside
+// the connection's lock, in registration order, on the goroutine that
+// triggered the failover. Not safe to call concurrently with Failover
+// traffic — register at setup time (NewBroker does).
+func (f *FailoverConn) OnRetarget(fn func(target string)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.onRetarget = append(f.onRetarget, fn)
+}
+
 // Failover promotes the best-positioned remaining standby and re-targets
 // the connection at it. Serialized: concurrent triggers (every probe in a
 // fan-out failing at once) perform one promotion. It returns the name of
 // the connection now serving — useful for logs even though the site name
 // is unchanged — or ErrNoStandby when the standby pool is exhausted.
 func (f *FailoverConn) Failover(cause string) (string, error) {
+	target, fns, err := f.failoverLocked(cause)
+	if err != nil {
+		return "", err
+	}
+	// Fire the re-target hooks after releasing the lock: a hook may call
+	// back into the connection (Target, stats) without deadlocking.
+	for _, fn := range fns {
+		fn(target)
+	}
+	return target, nil
+}
+
+// failoverLocked is Failover's promotion body; it returns the promoted
+// target and the retarget callbacks to fire once the lock is released.
+func (f *FailoverConn) failoverLocked(cause string) (string, []func(string), error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.standbys) == 0 {
-		return "", ErrNoStandby
+		return "", nil, ErrNoStandby
 	}
 	// Prefer the standby with the highest journal position: with a
 	// semi-sync quorum smaller than the standby count, a laggard may be
@@ -118,12 +151,14 @@ func (f *FailoverConn) Failover(cause string) (string, error) {
 		f.standbys = append(f.standbys[:c.i], f.standbys[c.i+1:]...)
 		f.failovers++
 		f.lastCause = cause
-		return t.Conn.Name(), nil
+		fns := make([]func(string), len(f.onRetarget))
+		copy(fns, f.onRetarget)
+		return t.Conn.Name(), fns, nil
 	}
 	if firstErr == nil {
 		firstErr = ErrNoStandby
 	}
-	return "", fmt.Errorf("grid %s: failover failed: %w", f.name, firstErr)
+	return "", nil, fmt.Errorf("grid %s: failover failed: %w", f.name, firstErr)
 }
 
 // Name implements Conn; it is the site's stable name.
@@ -193,10 +228,33 @@ func (f *FailoverConn) AbortTraced(tc obs.SpanContext, now period.Time, holdID s
 	return f.Target().Abort(now, holdID)
 }
 
+// WatchEpoch implements WatchConn by delegating to the active target: each
+// long poll re-resolves the target, so a watcher loop re-subscribes to the
+// promoted standby on its next poll after a failover — and the poll that
+// was parked on the deposed primary errors out as a stream gap, which
+// drops the site's entries conservatively (the broker's retarget hook has
+// usually done so already).
+func (f *FailoverConn) WatchEpoch(after uint64, maxWait time.Duration) (EpochEvent, bool, error) {
+	if wc, ok := f.Target().(WatchConn); ok {
+		return wc.WatchEpoch(after, maxWait)
+	}
+	return EpochEvent{}, false, fmt.Errorf("site %s: %w", f.name, ErrWatchUnsupported)
+}
+
+// ProbeBatch implements BatchProbeConn by delegating to the active target.
+func (f *FailoverConn) ProbeBatch(now period.Time, windows []Window) ([]ProbeResult, error) {
+	if bc, ok := f.Target().(BatchProbeConn); ok {
+		return bc.ProbeBatch(now, windows)
+	}
+	return nil, fmt.Errorf("site %s: %w", f.name, ErrProbeBatchUnsupported)
+}
+
 var (
-	_ Conn       = (*FailoverConn)(nil)
-	_ RangeConn  = (*FailoverConn)(nil)
-	_ TracedConn = (*FailoverConn)(nil)
+	_ Conn           = (*FailoverConn)(nil)
+	_ RangeConn      = (*FailoverConn)(nil)
+	_ TracedConn     = (*FailoverConn)(nil)
+	_ WatchConn      = (*FailoverConn)(nil)
+	_ BatchProbeConn = (*FailoverConn)(nil)
 )
 
 // FailoverCapable is how the broker discovers a connection it can fail

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"coalloc/internal/oracle"
 	"coalloc/internal/period"
@@ -302,4 +303,148 @@ func TestDifferentialOracleCachedBroker(t *testing.T) {
 		t.Fatalf("differential run never invalidated on 2PC traffic: %+v", cs)
 	}
 	t.Logf("%d steps, %d live allocations at end, cache %+v", steps, len(live), cs)
+}
+
+// TestDifferentialOracleWatchFedBroker is the two-broker variant: broker B
+// owns every mutation, broker A only watches and probes. A's cache hears
+// nothing through its own 2PC path — the watch stream is its only
+// invalidation signal — so the oracle agreement below bounds A's staleness
+// by one event-delivery latency per mutation (enforced with a generous
+// wall-clock deadline; the typical delivery is sub-millisecond in process).
+func TestDifferentialOracleWatchFedBroker(t *testing.T) {
+	const (
+		nSites  = 2
+		servers = 8
+		slot    = int64(15 * period.Minute)
+	)
+	steps := 120
+	if testing.Short() {
+		steps = 30
+	}
+	rng := rand.New(rand.NewSource(20260807))
+
+	sites := make([]*Site, nSites)
+	conns := make([]Conn, nSites)
+	orcs := make(map[string]*oracle.Oracle, nSites)
+	for i := range sites {
+		name := fmt.Sprintf("s%d", i)
+		sites[i] = mustSite(t, name, servers)
+		conns[i] = LocalConn{Site: sites[i]}
+		o, err := oracle.New(oracle.Config{Servers: servers, SlotSize: period.Duration(slot), Slots: 96}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orcs[name] = o
+	}
+	watcher := mustBrokerConns(t, BrokerConfig{
+		MaxAttempts:      1,
+		BreakerThreshold: -1,
+		ProbeCache:       true,
+		CacheWatch:       true,
+		WatchPoll:        20 * time.Millisecond,
+	}, conns...)
+	defer watcher.Close()
+	mutator := mustBrokerConns(t, BrokerConfig{
+		Strategy:         LoadBalance{},
+		MaxAttempts:      1,
+		BreakerThreshold: -1,
+	}, conns...)
+
+	poolWindow := func() (period.Time, period.Time) {
+		start := (1 + rng.Int63n(6)) * slot
+		dur := (1 + rng.Int63n(2)) * slot
+		return period.Time(start), period.Time(start + dur)
+	}
+	agreeOrStale := func(start, end period.Time) (stale string, ok bool) {
+		for _, a := range watcher.ProbeAll(0, start, end) {
+			name := a.Conn.Name()
+			if a.Err != nil {
+				t.Fatalf("watcher probe of %s: %v", name, a.Err)
+			}
+			if want := len(orcs[name].Feasible(start, end)); a.Available != want {
+				return fmt.Sprintf("site %s over [%d,%d): watcher says %d, oracle says %d",
+					name, start, end, a.Available, want), false
+			}
+		}
+		return "", true
+	}
+
+	var live []MultiAllocation
+	for step := 0; step < steps; step++ {
+		// Warm the watcher's cache so every mutation below really races a
+		// cached answer, not an empty cache.
+		for i := 0; i < 2; i++ {
+			s, e := poolWindow()
+			watcher.ProbeAll(0, s, e)
+		}
+
+		// One mutation through the mutator broker; the watcher hears about
+		// it only over the watch stream.
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			a := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := mutator.Release(0, a); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			for _, sh := range a.Shares {
+				if err := orcs[sh.Site].Release(sh.Servers, a.Start, a.End, 0); err != nil {
+					t.Fatalf("step %d: mirror release on %s: %v", step, sh.Site, err)
+				}
+			}
+		} else {
+			start, end := poolWindow()
+			want := 1 + rng.Intn(6)
+			avail := 0
+			for _, o := range orcs {
+				avail += len(o.Feasible(start, end))
+			}
+			alloc, err := mutator.CoAllocate(0, Request{
+				ID: int64(step), Start: start, Duration: period.Duration(end - start), Servers: want,
+			})
+			switch {
+			case err == nil:
+				if avail < want {
+					t.Fatalf("step %d: granted %d over [%d,%d) but oracle counts %d", step, want, start, end, avail)
+				}
+				for _, sh := range alloc.Shares {
+					if err := orcs[sh.Site].Allocate(sh.Servers, alloc.Start, alloc.End); err != nil {
+						t.Fatalf("step %d: mirror allocate on %s: %v", step, sh.Site, err)
+					}
+				}
+				live = append(live, alloc)
+			default:
+				if avail >= want {
+					t.Fatalf("step %d: rejected %d over [%d,%d) (%v) but oracle counts %d", step, want, start, end, err, avail)
+				}
+			}
+		}
+
+		// The watcher must agree with the oracle on every pooled window
+		// within the event-delivery bound — with zero 2PC traffic of its own.
+		start, end := poolWindow()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			stale, ok := agreeOrStale(start, end)
+			if ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("step %d: watcher stayed stale past the delivery bound: %s", step, stale)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	cs := watcher.CacheStats()
+	if cs.Invalidations != 0 {
+		t.Fatalf("watcher issued its own invalidations — the run proves nothing about the push: %+v", cs)
+	}
+	if cs.WatchEvents == 0 {
+		t.Fatalf("watcher never received a pushed event: %+v", cs)
+	}
+	if cs.Hits == 0 {
+		t.Fatalf("watcher never hit its cache: %+v", cs)
+	}
+	t.Logf("%d steps, cache %+v", steps, cs)
 }

@@ -86,7 +86,10 @@ type siteView struct {
 	// epochSalt + the calendar's mutation epoch. Two views with equal
 	// epochs answer every probe and range search identically, so a broker
 	// may reuse a cached answer for as long as the epoch stands still.
-	epoch                                 uint64
+	epoch uint64
+	// salt is the incarnation component of epoch, republished with every
+	// view so watch events can carry it without taking the site lock.
+	salt                                  uint64
 	prepared, committed, aborted, expired uint64
 	// lookupAttrs is the prebuilt cap==len attr slice for spans answered
 	// from this view; the site and epoch are fixed per view, so probes on
@@ -153,6 +156,12 @@ type Site struct {
 
 	// read path: the last published epoch. Never nil after NewSite/RestoreSite.
 	view atomic.Pointer[siteView]
+
+	// watchCh is the epoch-change broadcast: publishLocked installs a fresh
+	// channel and closes the previous one after storing the new view, so a
+	// waiter that loads the channel and then re-checks the view can never
+	// miss a publish. Never nil after the first publish.
+	watchCh atomic.Pointer[chan struct{}]
 
 	// write path: admission queue state (guarded by qmu, not mu).
 	qmu   sync.Mutex
@@ -233,12 +242,49 @@ func (s *Site) publishLocked() {
 	s.view.Store(&siteView{
 		cal:         cv,
 		epoch:       epoch,
+		salt:        s.epochSalt,
 		prepared:    s.prepared,
 		committed:   s.committed,
 		aborted:     s.aborted,
 		expired:     s.expired,
 		lookupAttrs: []slog.Attr{slog.String("site", s.name), slog.Uint64("epoch", epoch)},
 	})
+	// Wake epoch watchers only after the new view is visible: a waiter that
+	// loaded the old channel re-checks the view before blocking, so the
+	// store-then-close order guarantees it either sees this epoch or gets
+	// the close.
+	ch := make(chan struct{})
+	if old := s.watchCh.Swap(&ch); old != nil {
+		close(*old)
+	}
+}
+
+// WaitEpoch blocks until the site's published epoch differs from after, or
+// timeout elapses. It returns the current epoch, the incarnation salt, the
+// site clock, and whether the epoch differs from after. A caller passing
+// after=0 gets the current epoch immediately (published epochs are never
+// zero), which is how a watch subscription establishes its baseline. This
+// is the server half of the wire watch long-poll: cheap to park (one
+// channel receive, no lock) and woken by publishLocked the instant a
+// mutation batch publishes.
+func (s *Site) WaitEpoch(after uint64, timeout time.Duration) (epoch, salt uint64, siteNow period.Time, changed bool) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		// Load the channel before the view: if a publish lands between the
+		// two loads we see its view (return now); if it lands after, it
+		// closes the channel we hold.
+		chp := s.watchCh.Load()
+		v := s.view.Load()
+		if v.epoch != after {
+			return v.epoch, v.salt, v.cal.Now(), true
+		}
+		select {
+		case <-*chp:
+		case <-timer.C:
+			return v.epoch, v.salt, v.cal.Now(), false
+		}
+	}
 }
 
 // submitWrite runs exec through the admission queue. The first submitter to

@@ -135,7 +135,7 @@ type svcMetrics struct {
 }
 
 // serviceMethods names every RPC method, for metric registration.
-var serviceMethods = []string{"Probe", "Range", "Prepare", "Commit", "Abort", "Info", "Stats", "Checkpoint"}
+var serviceMethods = []string{"Probe", "Range", "Prepare", "Commit", "Abort", "Info", "Stats", "Checkpoint", "Watch", "ProbeBatch"}
 
 func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 	m := &svcMetrics{
@@ -174,6 +174,9 @@ type Service struct {
 	// suppressEpochs omits epoch metadata from replies, emulating a server
 	// binary that predates the epoch field; see Server.SuppressEpochs.
 	suppressEpochs bool
+	// suppressWatch answers Watch/ProbeBatch like a binary without the
+	// methods; see Server.SuppressWatch in watch.go.
+	suppressWatch bool
 }
 
 // traceContext rebuilds the caller's span context from a request's trace
@@ -417,6 +420,12 @@ type Client struct {
 	c  *rpc.Client // nil after the transport broke; redialed lazily
 	// closed refuses redials after Close, so a shut-down client stays shut.
 	closed bool
+
+	// Dedicated transport for the epoch watch long-poll; see watch.go. A
+	// poll parked for seconds would trip CallTimeout on the main transport
+	// and sever every multiplexed call with it.
+	watchMu sync.Mutex
+	watchC  *rpc.Client
 
 	// optional telemetry; see Instrument
 	latency    map[string]*obs.Histogram
@@ -686,15 +695,17 @@ func (c *Client) Stats() (grid.SiteStatus, error) {
 	return reply.Status, nil
 }
 
-// Close releases the connection and refuses further redials.
+// Close releases the connection (and the watch transport, if one was
+// dialed) and refuses further redials.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.c == nil {
-		return nil
+	var err error
+	if c.c != nil {
+		err = c.c.Close()
+		c.c = nil
 	}
-	err := c.c.Close()
-	c.c = nil
+	c.mu.Unlock()
+	c.closeWatch()
 	return err
 }
