@@ -77,6 +77,8 @@ func main() {
 		watch     = flag.Bool("cache-watch", false, "subscribe to each site's epoch watch stream so pushed epoch bumps invalidate the cache immediately (requires -cache)")
 		watchPoll = flag.Duration("watch-poll", 10*time.Second, "bound on one watch long-poll (idle re-poll cadence; events arrive immediately regardless)")
 		batch     = flag.Bool("cache-batch", false, "prefetch the whole Δt retry ladder in one batched probe RPC per site (requires -cache)")
+		conflictR = flag.Int("conflict-retries", 0, "same-window retries after a conflicted prepare before falling back to the Δt ladder (0 uses the default, negative disables)")
+		affinity  = flag.Bool("affinity", false, "rotate site preference by a hash of the broker name, so concurrent brokers start their splits at different sites")
 		cfg       = timeoutFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -115,6 +117,8 @@ func main() {
 		CacheWatch:       *watch,
 		WatchPoll:        *watchPoll,
 		BatchProbe:       *batch,
+		ConflictRetries:  *conflictR,
+		SiteAffinity:     *affinity,
 	}, conns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridctl:", err)
@@ -150,6 +154,7 @@ func main() {
 		fmt.Printf("  site %-12s servers %v\n", sh.Site, sh.Servers)
 	}
 	printCacheStats(broker, *cache)
+	printConflictStats(broker)
 	printBreakerStats(broker)
 }
 
@@ -166,6 +171,18 @@ func printCacheStats(b *grid.Broker, enabled bool) {
 		fmt.Printf("cache: %d watch events, %d watch gaps, %d batched probes\n",
 			cs.WatchEvents, cs.WatchGaps, cs.BatchProbes)
 	}
+}
+
+// printConflictStats reports how often prepares lost the optimistic race to
+// another broker, and how many of those windows the same-window retry still
+// rescued from the Δt ladder. Silent when the run saw no conflicts.
+func printConflictStats(b *grid.Broker) {
+	st := b.Stats()
+	if st.Conflicts == 0 {
+		return
+	}
+	fmt.Printf("conflicts: %d refusals at a moved epoch, %d same-window retries, %d of %d conflicted windows saved\n",
+		st.Conflicts, st.ConflictRetries, st.ConflictWindowSaved, st.ConflictWindows)
 }
 
 // printBreakerStats reports each site's circuit-breaker state, so a partial

@@ -1,0 +1,267 @@
+package main
+
+// -mode federate measures multi-broker contention: N brokers — each with
+// its own availability cache and affinity offset — run closed-loop
+// co-allocate/release workloads against one shared three-site TCP
+// federation, all drawing windows from the same small pool so prepares
+// routinely lose the optimistic-concurrency race. Every broker count runs
+// twice, with the same-window conflict retry on and off, and the report
+// compares conflict rate, goodput, tail latency, and the
+// conflict-abandonment rate (the fraction of conflicted windows that still
+// failed): the retry path exists to keep that last number down without
+// burning Δt ladder rungs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coalloc/internal/core"
+	"coalloc/internal/grid"
+	"coalloc/internal/period"
+	"coalloc/internal/wire"
+)
+
+const federateSites = 3
+
+// federatePoint is the measurement for one broker count in one retry mode.
+type federatePoint struct {
+	Brokers       int     `json:"brokers"`
+	ConflictRetry bool    `json:"conflictRetry"`
+	Seconds       float64 `json:"seconds"`
+	Requests      int64   `json:"requests"`
+	Granted       int64   `json:"granted"`
+	GoodputPerSec float64 `json:"goodputPerSec"`
+	P50Micros     float64 `json:"p50Micros"`
+	P99Micros     float64 `json:"p99Micros"`
+
+	Conflicts           uint64 `json:"conflicts"`
+	ConflictRetries     uint64 `json:"conflictRetries"`
+	ConflictWindows     uint64 `json:"conflictWindows"`
+	ConflictWindowSaved uint64 `json:"conflictWindowsSaved"`
+	// ConflictRate is conflicts per request; AbandonmentRate is the share of
+	// conflicted windows the broker still gave up on (1.0 whenever the retry
+	// path is off — every conflicted window is abandoned to the Δt ladder).
+	ConflictRate    float64 `json:"conflictRatePerRequest"`
+	AbandonmentRate float64 `json:"conflictAbandonmentRate"`
+}
+
+// federateResult is a whole -mode federate run.
+type federateResult struct {
+	Mode    string          `json:"mode"`
+	Servers int             `json:"servers"`
+	Sites   int             `json:"sites"`
+	Points  []federatePoint `json:"points"`
+}
+
+// startFederation boots the shared TCP sites and returns a dialer for
+// per-broker connections plus a teardown func.
+func startFederation(tag string, servers int, slotSize int64, slots int, cfg wire.ClientConfig) (dial func() ([]grid.Conn, error), stop func(), err error) {
+	var srvs []*wire.Server
+	var addrs []string
+	var clients []*wire.Client
+	var mu sync.Mutex
+	stop = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < federateSites; i++ {
+		site, err := grid.NewSite(fmt.Sprintf("%s-s%d", tag, i), core.Config{
+			Servers:  servers,
+			SlotSize: period.Duration(slotSize),
+			Slots:    slots,
+		}, 0)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv, err := wire.NewServer(site)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			stop()
+			return nil, nil, err
+		}
+		go srv.Serve(l)
+		srvs = append(srvs, srv)
+		addrs = append(addrs, l.Addr().String())
+	}
+	dial = func() ([]grid.Conn, error) {
+		conns := make([]grid.Conn, len(addrs))
+		for i, addr := range addrs {
+			c, err := wire.DialConfig("tcp", addr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			clients = append(clients, c)
+			mu.Unlock()
+			conns[i] = c
+		}
+		return conns, nil
+	}
+	return dial, stop, nil
+}
+
+// runFederatePoint drives one broker count in one retry mode against a
+// fresh federation for dur.
+func runFederatePoint(nBrokers int, retry bool, servers int, slotSize int64, slots int, dur, callTimeout time.Duration) (federatePoint, error) {
+	cfg := wire.ClientConfig{DialTimeout: callTimeout, CallTimeout: callTimeout}
+	dial, stop, err := startFederation(fmt.Sprintf("fed-n%d-r%v", nBrokers, retry), servers, slotSize, slots, cfg)
+	if err != nil {
+		return federatePoint{}, err
+	}
+	defer stop()
+
+	conflictRetries := 0 // default: the retry budget ships on
+	if !retry {
+		conflictRetries = -1
+	}
+	brokers := make([]*grid.Broker, nBrokers)
+	for i := range brokers {
+		conns, err := dial()
+		if err != nil {
+			return federatePoint{}, err
+		}
+		brokers[i], err = grid.NewBroker(grid.BrokerConfig{
+			Name:             fmt.Sprintf("b%02d", i),
+			MaxAttempts:      4,
+			BreakerThreshold: -1,
+			ProbeCache:       true,
+			SiteAffinity:     true,
+			ConflictRetries:  conflictRetries,
+		}, conns...)
+		if err != nil {
+			return federatePoint{}, err
+		}
+	}
+
+	// A small pool of overlapping windows keeps every broker fighting over
+	// the same slots; each broker holds a few grants live so the windows run
+	// near-full and probes go stale between probe and prepare.
+	windows := make([]period.Time, 4)
+	for k := range windows {
+		windows[k] = period.Time(int64(k+1) * int64(period.Hour))
+	}
+	var requests, granted int64
+	lat := &sampler{}
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+	for bi, br := range brokers {
+		wg.Add(1)
+		go func(bi int, br *grid.Broker) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + bi)))
+			var live []grid.MultiAllocation
+			for i := 0; !stopFlag.Load(); i++ {
+				if len(live) > 0 && (len(live) >= 3 || rng.Intn(3) == 0) {
+					j := rng.Intn(len(live))
+					a := live[j]
+					live = append(live[:j], live[j+1:]...)
+					_ = br.Release(0, a) // frees capacity and bumps site epochs
+					continue
+				}
+				req := grid.Request{
+					ID:       int64(bi)*1_000_000_000 + int64(i),
+					Start:    windows[rng.Intn(len(windows))],
+					Duration: period.Hour,
+					Servers:  1 + rng.Intn(servers),
+				}
+				t0 := time.Now()
+				alloc, err := br.CoAllocate(0, req)
+				lat.observe(time.Since(t0))
+				atomic.AddInt64(&requests, 1)
+				if err == nil {
+					atomic.AddInt64(&granted, 1)
+					live = append(live, alloc)
+				}
+			}
+			for _, a := range live {
+				_ = br.Release(0, a)
+			}
+		}(bi, br)
+	}
+	t0 := time.Now()
+	time.Sleep(dur)
+	stopFlag.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+
+	p := federatePoint{
+		Brokers:       nBrokers,
+		ConflictRetry: retry,
+		Seconds:       elapsed,
+		Requests:      requests,
+		Granted:       granted,
+		GoodputPerSec: float64(granted) / elapsed,
+		P50Micros:     lat.percentile(0.50),
+		P99Micros:     lat.percentile(0.99),
+	}
+	for _, br := range brokers {
+		st := br.Stats()
+		p.Conflicts += st.Conflicts
+		p.ConflictRetries += st.ConflictRetries
+		p.ConflictWindows += st.ConflictWindows
+		p.ConflictWindowSaved += st.ConflictWindowSaved
+	}
+	if requests > 0 {
+		p.ConflictRate = float64(p.Conflicts) / float64(requests)
+	}
+	if p.ConflictWindows > 0 {
+		p.AbandonmentRate = float64(p.ConflictWindows-p.ConflictWindowSaved) / float64(p.ConflictWindows)
+	}
+	return p, nil
+}
+
+// federateMain implements -mode federate and prints the result as JSON.
+func federateMain(servers int, slotSize int64, slots int, brokersFlag string, dur, callTimeout time.Duration, out string) {
+	res := federateResult{Mode: "federate", Servers: servers, Sites: federateSites}
+	for _, f := range strings.Split(brokersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad broker count %q\n", f)
+			os.Exit(2)
+		}
+		for _, retry := range []bool{true, false} {
+			p, err := runFederatePoint(n, retry, servers, slotSize, slots, dur, callTimeout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			res.Points = append(res.Points, p)
+			fmt.Fprintf(os.Stderr, "federate brokers=%d retry=%-5v goodput=%.0f/s p99=%.0fus conflicts=%d windows=%d saved=%d abandonment=%.2f\n",
+				n, retry, p.GoodputPerSec, p.P99Micros, p.Conflicts, p.ConflictWindows, p.ConflictWindowSaved, p.AbandonmentRate)
+		}
+	}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

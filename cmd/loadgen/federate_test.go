@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFederatePoint runs both halves of the -mode federate comparison at
+// a small scale and checks the property the benchmark exists to show: with
+// several brokers contending, conflicts happen, and the same-window retry
+// saves some conflicted windows from the Δt ladder — while the disabled run
+// abandons every one.
+func TestRunFederatePoint(t *testing.T) {
+	const (
+		brokers  = 4
+		servers  = 8
+		slotSize = 900
+		slots    = 96
+	)
+	dur := 300 * time.Millisecond
+	timeout := 2 * time.Second
+
+	on, err := runFederatePoint(brokers, true, servers, slotSize, slots, dur, timeout)
+	if err != nil {
+		t.Fatalf("retry-on point: %v", err)
+	}
+	if on.Requests == 0 || on.Granted == 0 {
+		t.Fatalf("retry-on point did no work: %+v", on)
+	}
+	if on.Conflicts == 0 {
+		t.Fatalf("%d brokers over a shared window pool raised no conflicts: %+v", brokers, on)
+	}
+	if on.ConflictWindowSaved > on.ConflictWindows {
+		t.Errorf("saved %d of %d conflicted windows", on.ConflictWindowSaved, on.ConflictWindows)
+	}
+	if on.AbandonmentRate < 0 || on.AbandonmentRate > 1 {
+		t.Errorf("abandonment rate %v out of range", on.AbandonmentRate)
+	}
+
+	off, err := runFederatePoint(brokers, false, servers, slotSize, slots, dur, timeout)
+	if err != nil {
+		t.Fatalf("retry-off point: %v", err)
+	}
+	if off.ConflictRetries != 0 || off.ConflictWindowSaved != 0 {
+		t.Errorf("retry-off point still retried: %+v", off)
+	}
+	if off.ConflictWindows > 0 && off.AbandonmentRate != 1 {
+		t.Errorf("with the retry off every conflicted window is abandoned, got rate %v", off.AbandonmentRate)
+	}
+}
+
+// TestRunFederatePointSingleBroker pins the no-contention baseline: one
+// broker alone can race nobody, so the conflict path must stay inert in
+// both retry modes.
+func TestRunFederatePointSingleBroker(t *testing.T) {
+	p, err := runFederatePoint(1, true, 8, 900, 96, 150*time.Millisecond, 2*time.Second)
+	if err != nil {
+		t.Fatalf("single-broker point: %v", err)
+	}
+	if p.Conflicts != 0 || p.ConflictWindows != 0 {
+		t.Errorf("lone broker counted conflicts: %+v", p)
+	}
+	if p.Requests == 0 || p.Granted == 0 {
+		t.Fatalf("single-broker point did no work: %+v", p)
+	}
+}

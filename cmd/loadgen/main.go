@@ -10,6 +10,7 @@
 //	loadgen -mode trace-overhead      # always-on flight recorder vs tracing off
 //	loadgen -mode failover            # replicated site losing its primary mid-run
 //	loadgen -mode stale               # passive vs push-invalidated cache staleness
+//	loadgen -mode federate            # N contending brokers, conflict retry on vs off
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
@@ -41,6 +42,14 @@
 // (recovery gap in milliseconds, the error burst while the breaker counts
 // down) and what it preserves: lostAcked audits every acknowledged grant
 // against the promoted node and must be 0.
+//
+// -mode federate boots one shared three-site TCP federation and runs -brokers
+// contending brokers against it, each a closed-loop co-allocate/release
+// client drawing from a small shared window pool so prepares routinely lose
+// the optimistic-concurrency race. Every broker count runs with the
+// same-window conflict retry on and off; the report compares conflict rate,
+// goodput, p99, and the conflict-abandonment rate the retry path exists to
+// reduce.
 //
 // -mode stale times the stale-cache window itself: a second broker mutates a
 // window the first broker has cached, every -mutate-every, and the run
@@ -254,7 +263,7 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, failover, or stale")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, failover, stale, or federate")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
@@ -262,6 +271,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed for -mode chaos")
 	cacheWindows := flag.Int("cache-windows", 8, "distinct probe windows cycled by -mode cache (smaller = more repeat-heavy)")
 	mutateEvery := flag.Duration("mutate-every", 50*time.Millisecond, "interval between cache-invalidating mutations in -mode stale (also the staleness censoring cap)")
+	brokersFlag := flag.String("brokers", "1,2,4,8", "comma-separated broker counts for -mode federate")
 	flag.Parse()
 
 	switch *mode {
@@ -280,6 +290,9 @@ func main() {
 		return
 	case "stale":
 		staleMain(*servers, *slotSize, *slots, *dur, *mutateEvery, *callTimeout, *out)
+		return
+	case "federate":
+		federateMain(*servers, *slotSize, *slots, *brokersFlag, *dur, *callTimeout, *out)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)

@@ -139,6 +139,19 @@ type BrokerConfig struct {
 	// 10s. Smaller values cost idle round trips; larger ones only delay
 	// Close and interact with server-side idle timeouts (see wire).
 	WatchPoll time.Duration
+	// ConflictRetries bounds how many times one window is re-tried after a
+	// prepare conflict (a *ConflictError: the contended site's capacity
+	// moved between probe and prepare) before the broker falls back to the
+	// Δt ladder. Each retry re-probes only the contended site and re-splits
+	// the residual demand; already-prepared shares are kept. Default 2;
+	// negative disables the path, treating a conflict like any other
+	// prepare failure.
+	ConflictRetries int
+	// SiteAffinity rotates the strategy's view of the site order by a hash
+	// of the broker's name (see Affinity), so a fleet of brokers spreads
+	// its first-choice sites instead of piling onto the globally
+	// most-available one and conflicting there. Off by default.
+	SiteAffinity bool
 	// BatchProbe prefetches a whole Δt retry ladder's candidate windows in
 	// one batched RPC per site at the start of CoAllocate, cutting the
 	// dominant round-trip count from O(ladder × sites) toward O(sites).
@@ -204,6 +217,9 @@ func (c *BrokerConfig) applyDefaults() {
 	if c.WatchPoll <= 0 {
 		c.WatchPoll = 10 * time.Second
 	}
+	if c.ConflictRetries == 0 {
+		c.ConflictRetries = 2
+	}
 }
 
 // BrokerStats counts protocol outcomes.
@@ -213,7 +229,13 @@ type BrokerStats struct {
 	Rejected       int
 	Unreachable    int // requests that failed because no site answered
 	PartialCommits int
-	Aborts         uint64 // total holds aborted during failed attempts
+	Aborts         uint64 // total holds successfully aborted during failed attempts
+
+	// Conflict accounting; see BrokerConfig.ConflictRetries.
+	Conflicts           uint64 // prepares refused as *ConflictError
+	ConflictRetries     uint64 // same-window retry passes run after a conflict
+	ConflictWindows     uint64 // windows that saw at least one conflict
+	ConflictWindowSaved uint64 // conflicted windows that still committed (no Δt rung burned)
 }
 
 // brokerMetrics caches the broker's registry entries so the 2PC hot path
@@ -227,6 +249,9 @@ type brokerMetrics struct {
 	breakerSkips                *obs.Counter   // calls skipped because a circuit was open
 	failovers                   *obs.Counter   // standbys promoted after a breaker stuck open
 	rpcTimeouts                 *obs.Counter   // site RPCs that expired their deadline
+	conflicts                   *obs.Counter   // prepares refused as conflicts
+	conflictRetries             *obs.Counter   // same-window retry passes after a conflict
+	conflictWindowSaved         *obs.Counter   // conflicted windows that still committed
 	windowLatency               *obs.Histogram // one probe/prepare/commit round
 	requestLatency              *obs.Histogram // whole CoAllocate including retries
 
@@ -248,19 +273,22 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		return nil
 	}
 	m := &brokerMetrics{
-		requests:       reg.Counter("broker.requests"),
-		granted:        reg.Counter("broker.granted"),
-		rejected:       reg.Counter("broker.rejected"),
-		partials:       reg.Counter("broker.partial_commits"),
-		aborts:         reg.Counter("broker.aborts"),
-		unreachable:    reg.Counter("broker.probe.unreachable"),
-		allUnreachable: reg.Counter("broker.all_unreachable"),
-		breakerOpen:    reg.Counter("broker.site.breaker_open"),
-		breakerSkips:   reg.Counter("broker.site.breaker_skips"),
-		failovers:      reg.Counter("broker.site.failovers"),
-		rpcTimeouts:    reg.Counter("broker.rpc.timeout"),
-		windowLatency:  reg.Histogram("broker.window.latency"),
-		requestLatency: reg.Histogram("broker.request.latency"),
+		requests:            reg.Counter("broker.requests"),
+		granted:             reg.Counter("broker.granted"),
+		rejected:            reg.Counter("broker.rejected"),
+		partials:            reg.Counter("broker.partial_commits"),
+		aborts:              reg.Counter("broker.aborts"),
+		unreachable:         reg.Counter("broker.probe.unreachable"),
+		allUnreachable:      reg.Counter("broker.all_unreachable"),
+		breakerOpen:         reg.Counter("broker.site.breaker_open"),
+		breakerSkips:        reg.Counter("broker.site.breaker_skips"),
+		failovers:           reg.Counter("broker.site.failovers"),
+		rpcTimeouts:         reg.Counter("broker.rpc.timeout"),
+		conflicts:           reg.Counter("broker.conflicts"),
+		conflictRetries:     reg.Counter("broker.conflict_retries"),
+		conflictWindowSaved: reg.Counter("broker.conflict_window_saved"),
+		windowLatency:       reg.Histogram("broker.window.latency"),
+		requestLatency:      reg.Histogram("broker.request.latency"),
 
 		cacheHits:          reg.Counter("broker.cache.hits"),
 		cacheMisses:        reg.Counter("broker.cache.misses"),
@@ -284,6 +312,9 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 	reg.Help("broker.site.breaker_skips", "site calls skipped while a circuit was open")
 	reg.Help("broker.site.failovers", "standbys promoted after a site's breaker stuck open")
 	reg.Help("broker.rpc.timeout", "site RPCs that exceeded their deadline")
+	reg.Help("broker.conflicts", "prepares refused because capacity moved since the probe")
+	reg.Help("broker.conflict_retries", "same-window retry passes run after a prepare conflict")
+	reg.Help("broker.conflict_window_saved", "conflicted windows that still committed without burning a retry rung")
 	reg.Help("broker.window.latency", "one probe/prepare/commit round")
 	reg.Help("broker.request.latency", "whole CoAllocate including retries")
 	reg.Help("broker.cache.hits", "probes answered from the availability cache")
@@ -328,9 +359,12 @@ type Broker struct {
 	rng   *mrand.Rand // jitter source
 
 	// watch subscription lifecycle; see watch.go. watchStop is non-nil iff
-	// watchers were started (cfg.CacheWatch over a watch-capable conn).
+	// watchers were started (cfg.CacheWatch over a watch-capable conn); it
+	// is written only during construction, so watcher goroutines may read
+	// it freely. closeOnce makes Close idempotent and concurrency-safe.
 	watchStop chan struct{}
 	watchWG   sync.WaitGroup
+	closeOnce sync.Once
 
 	// batchBad[i] is set once site i answered the batched ladder probe with
 	// "unsupported", so the prefetch never asks it again this connection.
@@ -353,6 +387,9 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 		if ordered[i].Name() == ordered[i-1].Name() {
 			return nil, fmt.Errorf("grid: duplicate site name %q", ordered[i].Name())
 		}
+	}
+	if cfg.SiteAffinity {
+		cfg.Strategy = Affinity{S: cfg.Strategy, Offset: AffinityOffset(cfg.Name, len(ordered))}
 	}
 	health := make(map[string]*siteHealth, len(ordered))
 	for _, c := range ordered {
@@ -412,14 +449,15 @@ func NewBroker(cfg BrokerConfig, sites ...Conn) (*Broker, error) {
 }
 
 // Close stops the broker's background work (the watch subscription loops).
-// Safe to call on a broker without watchers; does not close the site
-// connections.
+// Safe to call on a broker without watchers, more than once, and from
+// concurrent goroutines; does not close the site connections.
 func (b *Broker) Close() error {
-	if b.watchStop != nil {
-		close(b.watchStop)
-		b.watchWG.Wait()
-		b.watchStop = nil
-	}
+	b.closeOnce.Do(func() {
+		if b.watchStop != nil {
+			close(b.watchStop)
+			b.watchWG.Wait()
+		}
+	})
 	return nil
 }
 
@@ -816,7 +854,7 @@ func (b *Broker) probeSites(sp *obs.ActiveSpan, now, start, end period.Time) []A
 			}
 			return
 		}
-		avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity}
+		avail[i] = Avail{Conn: c, Available: r.Available, Capacity: r.Capacity, Epoch: r.Epoch}
 		if !shared {
 			b.siteOK(c)
 		}
@@ -964,12 +1002,32 @@ func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, tota
 	holdID := b.newHoldID()
 	granted := make([]GrantedShare, 0, len(shares))
 	prepared := make([]Conn, 0, len(shares))
-	for _, sh := range shares {
+	grantedServers := 0
+	// probedEpochs carries each site's probed epoch into its prepare so the
+	// site can classify a refusal as a conflict; availByName feeds the
+	// conflict re-split with the tail sites' probed numbers.
+	probedEpochs := make(map[string]uint64, len(avail))
+	availByName := make(map[string]Avail, len(avail))
+	for _, a := range avail {
+		if a.Err == nil {
+			probedEpochs[a.Conn.Name()] = a.Epoch
+			availByName[a.Conn.Name()] = a
+		}
+	}
+	conflictBudget := b.cfg.ConflictRetries
+	if conflictBudget < 0 {
+		conflictBudget = 0
+	}
+	sawConflict := false
+
+	queue := shares
+	for qi := 0; qi < len(queue); qi++ {
+		sh := queue[qi]
 		pps := sp.StartChild("broker.prepare",
 			slog.String("site", sh.Conn.Name()),
 			slog.String("hold", holdID),
 			slog.Int("servers", sh.Servers))
-		servers, err := connPrepare(sh.Conn, pps.Context(), now, holdID, start, end, sh.Servers, b.cfg.Lease)
+		servers, err := connPrepareEpoch(sh.Conn, pps.Context(), now, holdID, start, end, sh.Servers, b.cfg.Lease, probedEpochs[sh.Conn.Name()])
 		pps.Fail(err)
 		pps.End()
 		// Prepare is a mutation whether it succeeded or not (a timed-out one
@@ -978,7 +1036,45 @@ func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, tota
 		// state is exactly what the epoch protocol exists to flush.
 		b.invalidateSiteCache(sh.Conn)
 		if err != nil {
-			b.siteFailed(sh.Conn, err)
+			var conflict *ConflictError
+			if errors.As(err, &conflict) {
+				// The site answered; losing an optimistic-concurrency race is
+				// not an outage, so the breaker sees a success.
+				b.siteOK(sh.Conn)
+				b.mu.Lock()
+				b.stats.Conflicts++
+				if !sawConflict {
+					sawConflict = true
+					b.stats.ConflictWindows++
+				}
+				b.mu.Unlock()
+				if b.m != nil {
+					b.m.conflicts.Inc()
+				}
+				b.event(obs.EventConflict,
+					slog.String("hold", holdID),
+					slog.String("site", sh.Conn.Name()),
+					slog.Uint64("epoch", conflict.Epoch))
+				if conflictBudget > 0 {
+					if next, ok := b.conflictResplit(sp, now, start, end, sh, total-grantedServers, availByName, probedEpochs); ok {
+						conflictBudget--
+						b.mu.Lock()
+						b.stats.ConflictRetries++
+						b.mu.Unlock()
+						if b.m != nil {
+							b.m.conflictRetries.Inc()
+						}
+						// Restart the prepare loop over the re-split residual;
+						// the prepared prefix is kept and every new share is
+						// named at or after the contended site, so acquisition
+						// order stays monotone across passes.
+						queue, qi = next, -1
+						continue
+					}
+				}
+			} else {
+				b.siteFailed(sh.Conn, err)
+			}
 			// A timed-out prepare is ambiguous: the request may have reached
 			// the site and leased the servers even though the reply never
 			// came. Send a best-effort abort so a landed hold is released
@@ -989,28 +1085,37 @@ func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, tota
 			if isTimeoutErr(err) {
 				aborts = append(append([]Conn(nil), prepared...), sh.Conn)
 			}
-			// Phase 1 failed: abort everything prepared so far.
+			// Phase 1 failed: abort everything prepared so far, counting only
+			// the aborts that actually landed — a failed abort releases
+			// nothing until the lease expires, matching the phase-2
+			// compensation accounting.
+			aborted := 0
 			for _, p := range aborts {
 				as := sp.StartChild("broker.abort",
 					slog.String("site", p.Name()),
 					slog.String("hold", holdID),
 					slog.String("cause", "prepare_failed"))
-				as.Fail(connAbort(p, as.Context(), now, holdID)) // best effort; leases back us up
+				aerr := connAbort(p, as.Context(), now, holdID) // best effort; leases back us up
+				as.Fail(aerr)
 				as.End()
 				b.invalidateSiteCache(p)
-				b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
+				if aerr == nil {
+					aborted++
+					b.event(obs.EventAbort, slog.String("hold", holdID), slog.String("site", p.Name()))
+				}
 			}
 			b.mu.Lock()
-			b.stats.Aborts += uint64(len(prepared))
+			b.stats.Aborts += uint64(aborted)
 			b.mu.Unlock()
 			if b.m != nil {
-				b.m.aborts.Add(uint64(len(prepared)))
+				b.m.aborts.Add(uint64(aborted))
 			}
 			return MultiAllocation{}, fmt.Errorf("grid: prepare failed at %s: %w", sh.Conn.Name(), err)
 		}
 		b.siteOK(sh.Conn)
 		prepared = append(prepared, sh.Conn)
 		granted = append(granted, GrantedShare{Site: sh.Conn.Name(), Servers: servers})
+		grantedServers += len(servers)
 		b.event(obs.EventPrepare,
 			slog.String("hold", holdID),
 			slog.String("site", sh.Conn.Name()),
@@ -1095,6 +1200,16 @@ func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, tota
 		}
 		return MultiAllocation{}, &CommitError{HoldID: holdID, Committed: committed, Aborted: aborted, Failed: failed, Shares: granted, Err: commitErr}
 	}
+	if sawConflict {
+		// The window survived its conflicts: the retry path turned what
+		// would have been a burned Δt rung into a commit.
+		b.mu.Lock()
+		b.stats.ConflictWindowSaved++
+		b.mu.Unlock()
+		if b.m != nil {
+			b.m.conflictWindowSaved.Inc()
+		}
+	}
 	return MultiAllocation{
 		HoldID:   holdID,
 		Start:    start,
@@ -1102,6 +1217,55 @@ func (b *Broker) tryWindow(sp *obs.ActiveSpan, now, start, end period.Time, tota
 		Shares:   granted,
 		Attempts: attempt,
 	}, nil
+}
+
+// conflictResplit builds the retry queue after a prepare conflict: it
+// re-probes only the contended site (whose cache entry the caller just
+// invalidated, so the probe reaches the site) and asks the strategy to
+// re-split the residual demand over the fresh answer plus every other
+// probed site named after the contended one — including sites the original
+// split left empty, so the residual can route around the contention.
+// Candidates are therefore all named at or after the contended site, and
+// every already-prepared share is named strictly before it: the retried
+// prepares extend the canonical name order already acquired, and the
+// no-deadlock invariant holds across passes. Returns false — sending the
+// caller to the plain failure path and the Δt ladder — when the re-probe
+// fails or the residual no longer fits the candidate set.
+func (b *Broker) conflictResplit(sp *obs.ActiveSpan, now, start, end period.Time, contended Share, residual int, availByName map[string]Avail, probedEpochs map[string]uint64) ([]Share, bool) {
+	c := contended.Conn
+	rp := sp.StartChild("broker.reprobe", slog.String("site", c.Name()))
+	r, src, err := b.cachedProbe(c, rp.Context(), now, start, end)
+	rp.Fail(err)
+	rp.End()
+	shared := src == probeSrcHit || src == probeSrcCoalesced
+	if err != nil {
+		if !shared {
+			b.siteFailed(c, err)
+		}
+		return nil, false
+	}
+	if !shared {
+		b.siteOK(c)
+	}
+	fresh := Avail{Conn: c, Available: r.Available, Capacity: r.Capacity, Epoch: r.Epoch}
+	probedEpochs[c.Name()] = r.Epoch
+	availByName[c.Name()] = fresh
+	cands := make([]Avail, 0, len(availByName))
+	cands = append(cands, fresh)
+	for name, a := range availByName {
+		if name > c.Name() {
+			cands = append(cands, a)
+		}
+	}
+	// Deterministic candidate order: map iteration would otherwise feed the
+	// strategy's stable tie-breaking a different order every retry.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Conn.Name() < cands[j].Conn.Name() })
+	next, err := b.cfg.Strategy.Split(residual, cands)
+	if err != nil {
+		return nil, false
+	}
+	sort.SliceStable(next, func(i, j int) bool { return next[i].Conn.Name() < next[j].Conn.Name() })
+	return next, true
 }
 
 // ProbeAll returns each site's availability for a window — the cross-site
@@ -1167,7 +1331,16 @@ func (b *Broker) RangeAll(now, start, end period.Time) []SiteRange {
 // traffic. Releasing an allocation whose window already closed is a no-op
 // per site (presumed abort). The first site error is returned, but every
 // site is attempted regardless.
+//
+// Release goes through the same instrumented path as the 2PC rounds: each
+// abort is a child span of a broker.release trace, a site with an open
+// circuit breaker is skipped fast instead of stalling the whole release on
+// its timeout, and outcomes feed the breaker like any other site call.
+// Shares skipped behind an open breaker (and failed aborts) stay leased
+// until the site's window closes — presumed abort reclaims them.
 func (b *Broker) Release(now period.Time, alloc MultiAllocation) error {
+	root := b.rec.StartSpan("broker.release", slog.String("hold", alloc.HoldID))
+	defer root.End()
 	byName := make(map[string]Conn, len(b.sites))
 	for _, c := range b.sites {
 		byName[c.Name()] = c
@@ -1181,15 +1354,36 @@ func (b *Broker) Release(now period.Time, alloc MultiAllocation) error {
 			}
 			continue
 		}
-		err := c.Abort(now, alloc.HoldID)
-		b.invalidateSiteCache(c)
-		if err != nil {
+		if err := b.breakerOpenFor(c); err != nil {
+			as := root.StartChild("broker.abort",
+				slog.String("site", sh.Site),
+				slog.String("hold", alloc.HoldID),
+				slog.String("cause", "release"))
+			as.Fail(err)
+			as.End()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("grid: release of %s at %s: %w", alloc.HoldID, sh.Site, err)
 			}
 			continue
 		}
+		as := root.StartChild("broker.abort",
+			slog.String("site", sh.Site),
+			slog.String("hold", alloc.HoldID),
+			slog.String("cause", "release"))
+		err := connAbort(c, as.Context(), now, alloc.HoldID)
+		as.Fail(err)
+		as.End()
+		b.invalidateSiteCache(c)
+		if err != nil {
+			b.siteFailed(c, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("grid: release of %s at %s: %w", alloc.HoldID, sh.Site, err)
+			}
+			continue
+		}
+		b.siteOK(c)
 		b.event(obs.EventAbort, slog.String("hold", alloc.HoldID), slog.String("site", sh.Site), slog.Bool("release", true))
 	}
+	root.Fail(firstErr)
 	return firstErr
 }

@@ -78,6 +78,20 @@ type TracedConn interface {
 	AbortTraced(tc obs.SpanContext, now period.Time, holdID string) error
 }
 
+// ConflictPrepareConn is the optional Conn extension for prepare calls that
+// carry the epoch the caller's probe was answered at, so the site can tell
+// "capacity taken since your probe" (a typed *ConflictError the broker
+// retries in the same window) from "never had capacity" (a plain refusal
+// that burns a Δt rung). Discovered by type assertion like RangeConn: old
+// connections — and new connections talking to old servers, which answer
+// with a plain error — degrade to the unclassified behavior.
+type ConflictPrepareConn interface {
+	Conn
+	// PrepareConflict is PrepareTraced carrying the probed epoch; see
+	// Site.PrepareConflictTraced for the classification rule.
+	PrepareConflict(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error)
+}
+
 // connProbe routes a probe through the traced path when both sides can:
 // the connection implements TracedConn and the caller actually has a span.
 func connProbe(c Conn, tc obs.SpanContext, now, start, end period.Time) (ProbeResult, error) {
@@ -93,6 +107,17 @@ func connPrepare(c Conn, tc obs.SpanContext, now period.Time, holdID string, sta
 		return t.PrepareTraced(tc, now, holdID, start, end, servers, lease)
 	}
 	return c.Prepare(now, holdID, start, end, servers, lease)
+}
+
+// connPrepareEpoch routes a prepare through the conflict-aware path when the
+// connection supports it and the caller actually probed (probedEpoch != 0);
+// otherwise it degrades to connPrepare and conflicts surface as plain
+// errors.
+func connPrepareEpoch(c Conn, tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error) {
+	if cc, ok := c.(ConflictPrepareConn); ok && probedEpoch != 0 {
+		return cc.PrepareConflict(tc, now, holdID, start, end, servers, lease, probedEpoch)
+	}
+	return connPrepare(c, tc, now, holdID, start, end, servers, lease)
 }
 
 // connCommit is connProbe's twin for the commit decision.
@@ -176,6 +201,11 @@ func (l LocalConn) PrepareTraced(tc obs.SpanContext, now period.Time, holdID str
 	return l.Site.PrepareTraced(tc, now, holdID, start, end, servers, lease)
 }
 
+// PrepareConflict implements ConflictPrepareConn.
+func (l LocalConn) PrepareConflict(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error) {
+	return l.Site.PrepareConflictTraced(tc, now, holdID, start, end, servers, lease, probedEpoch)
+}
+
 // CommitTraced implements TracedConn.
 func (l LocalConn) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error {
 	return l.Site.CommitTraced(tc, now, holdID)
@@ -206,8 +236,9 @@ func (l LocalConn) ProbeBatch(now period.Time, windows []Window) ([]ProbeResult,
 }
 
 var (
-	_ RangeConn      = LocalConn{}
-	_ TracedConn     = LocalConn{}
-	_ WatchConn      = LocalConn{}
-	_ BatchProbeConn = LocalConn{}
+	_ RangeConn           = LocalConn{}
+	_ TracedConn          = LocalConn{}
+	_ WatchConn           = LocalConn{}
+	_ BatchProbeConn      = LocalConn{}
+	_ ConflictPrepareConn = LocalConn{}
 )

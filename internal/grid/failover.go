@@ -212,6 +212,13 @@ func (f *FailoverConn) PrepareTraced(tc obs.SpanContext, now period.Time, holdID
 	return f.Target().Prepare(now, holdID, start, end, servers, lease)
 }
 
+// PrepareConflict implements ConflictPrepareConn by delegating to the
+// active target; a target without the conflict path degrades to the
+// unclassified prepare.
+func (f *FailoverConn) PrepareConflict(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error) {
+	return connPrepareEpoch(f.Target(), tc, now, holdID, start, end, servers, lease, probedEpoch)
+}
+
 // CommitTraced implements TracedConn.
 func (f *FailoverConn) CommitTraced(tc obs.SpanContext, now period.Time, holdID string) error {
 	if t, ok := f.Target().(TracedConn); ok {
@@ -250,11 +257,12 @@ func (f *FailoverConn) ProbeBatch(now period.Time, windows []Window) ([]ProbeRes
 }
 
 var (
-	_ Conn           = (*FailoverConn)(nil)
-	_ RangeConn      = (*FailoverConn)(nil)
-	_ TracedConn     = (*FailoverConn)(nil)
-	_ WatchConn      = (*FailoverConn)(nil)
-	_ BatchProbeConn = (*FailoverConn)(nil)
+	_ Conn                = (*FailoverConn)(nil)
+	_ RangeConn           = (*FailoverConn)(nil)
+	_ TracedConn          = (*FailoverConn)(nil)
+	_ WatchConn           = (*FailoverConn)(nil)
+	_ BatchProbeConn      = (*FailoverConn)(nil)
+	_ ConflictPrepareConn = (*FailoverConn)(nil)
 )
 
 // FailoverCapable is how the broker discovers a connection it can fail

@@ -305,6 +305,173 @@ func TestDifferentialOracleCachedBroker(t *testing.T) {
 	t.Logf("%d steps, %d live allocations at end, cache %+v", steps, len(live), cs)
 }
 
+// TestDifferentialOracleTwoBrokerFederation drives two cache-enabled
+// brokers that BOTH mutate the same three sites, with the oracle as
+// arbiter. Neither broker hears about the other's 2PC traffic except
+// through site epochs, so stale caches are the norm and prepares routinely
+// lose the optimistic-concurrency race — the conflict-retry path runs under
+// differential checking. Invariants after every step:
+//
+//   - no double-grant: every committed share fits the oracle's
+//     feasible-server sets (oracle.Allocate would fail otherwise)
+//   - convergence: each site's direct range search agrees with the oracle
+//
+// A final concurrent burst races both brokers at one window and then
+// replays the winners into the oracle sequentially: overlapping grants
+// would fail the replay.
+func TestDifferentialOracleTwoBrokerFederation(t *testing.T) {
+	const (
+		nSites  = 3
+		servers = 8
+		slot    = int64(15 * period.Minute)
+	)
+	steps := 400
+	if testing.Short() {
+		steps = 100
+	}
+	rng := rand.New(rand.NewSource(20260808))
+
+	sites := make([]*Site, nSites)
+	conns := make([]Conn, nSites)
+	orcs := make(map[string]*oracle.Oracle, nSites)
+	for i := range sites {
+		name := fmt.Sprintf("s%d", i)
+		sites[i] = mustSite(t, name, servers)
+		conns[i] = LocalConn{Site: sites[i]}
+		o, err := oracle.New(oracle.Config{Servers: servers, SlotSize: period.Duration(slot), Slots: 96}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orcs[name] = o
+	}
+	newFedBroker := func(name string) *Broker {
+		return mustBrokerConns(t, BrokerConfig{
+			Name:             name,
+			MaxAttempts:      1, // the test drives its own windows
+			CommitRetries:    1,
+			BreakerThreshold: -1,
+			ProbeCache:       true,
+			SiteAffinity:     true,
+		}, conns...)
+	}
+	brokers := []*Broker{newFedBroker("bA"), newFedBroker("bB")}
+
+	poolWindow := func() (period.Time, period.Time) {
+		start := (1 + rng.Int63n(6)) * slot
+		dur := (1 + rng.Int63n(2)) * slot
+		return period.Time(start), period.Time(start + dur)
+	}
+	converged := func(step int) {
+		for i, s := range sites {
+			start, end := poolWindow()
+			name := fmt.Sprintf("s%d", i)
+			want := orcs[name].Feasible(start, end)
+			got := diffFeasibleSet(s.RangeSearch(0, start, end))
+			if !diffSetsEqual(got, want) {
+				t.Fatalf("step %d: site %s over [%d,%d) = %v, oracle says %v",
+					step, name, start, end, got, want)
+			}
+		}
+	}
+
+	live := make([][]MultiAllocation, len(brokers))
+	for step := 0; step < steps; step++ {
+		// Warm both caches on pooled windows: the entries a broker probes
+		// here go stale the moment the other broker mutates, so later
+		// prepares ride genuinely old epochs into the sites.
+		for _, br := range brokers {
+			ws, we := poolWindow()
+			br.ProbeAll(0, ws, we)
+		}
+		bi := rng.Intn(len(brokers))
+		br := brokers[bi]
+		if len(live[bi]) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live[bi]))
+			a := live[bi][i]
+			live[bi] = append(live[bi][:i], live[bi][i+1:]...)
+			if err := br.Release(0, a); err != nil {
+				t.Fatalf("step %d: release of %s: %v", step, a.HoldID, err)
+			}
+			for _, sh := range a.Shares {
+				if err := orcs[sh.Site].Release(sh.Servers, a.Start, a.End, 0); err != nil {
+					t.Fatalf("step %d: mirror release on %s: %v", step, sh.Site, err)
+				}
+			}
+		} else {
+			start, end := poolWindow()
+			alloc, err := br.CoAllocate(0, Request{
+				ID:       int64(step),
+				Start:    start,
+				Duration: period.Duration(end - start),
+				Servers:  1 + rng.Intn(16),
+			})
+			if err == nil {
+				// The oracle is the double-grant detector: a share the sites
+				// already promised to the other broker fails this Allocate.
+				for _, sh := range alloc.Shares {
+					if err := orcs[sh.Site].Allocate(sh.Servers, alloc.Start, alloc.End); err != nil {
+						t.Fatalf("step %d: broker %d double-granted on %s: %v", step, bi, sh.Site, err)
+					}
+				}
+				live[bi] = append(live[bi], alloc)
+			}
+			// A rejection cannot be checked against the oracle here: a stale
+			// cache may legitimately undercount a site another broker just
+			// released, and MaxAttempts is 1.
+		}
+		converged(step)
+	}
+
+	// Concurrent burst: both brokers race one window. Whatever committed
+	// must replay into the oracle without overlap.
+	burstStart, burstEnd := poolWindow()
+	var mu sync.Mutex
+	var wins []MultiAllocation
+	var wg sync.WaitGroup
+	for bi, br := range brokers {
+		wg.Add(1)
+		go func(bi int, br *Broker) {
+			defer wg.Done()
+			for k := 0; k < 6; k++ {
+				alloc, err := br.CoAllocate(0, Request{
+					ID:       int64(10000 + 100*bi + k),
+					Start:    burstStart,
+					Duration: period.Duration(burstEnd - burstStart),
+					Servers:  1 + k%4,
+				})
+				if err == nil {
+					mu.Lock()
+					wins = append(wins, alloc)
+					mu.Unlock()
+				}
+			}
+		}(bi, br)
+	}
+	wg.Wait()
+	for _, a := range wins {
+		for _, sh := range a.Shares {
+			if err := orcs[sh.Site].Allocate(sh.Servers, a.Start, a.End); err != nil {
+				t.Fatalf("burst: overlapping grant on %s (%s): %v", sh.Site, a.HoldID, err)
+			}
+		}
+	}
+	converged(steps)
+
+	var agg BrokerStats
+	for _, br := range brokers {
+		st := br.Stats()
+		agg.Conflicts += st.Conflicts
+		agg.ConflictRetries += st.ConflictRetries
+		agg.ConflictWindows += st.ConflictWindows
+		agg.ConflictWindowSaved += st.ConflictWindowSaved
+	}
+	if agg.Conflicts == 0 {
+		t.Fatal("two mutating brokers with stale caches never conflicted — the run proves nothing about the retry path")
+	}
+	t.Logf("%d steps, %d burst wins, conflicts=%d retries=%d windows=%d saved=%d",
+		steps, len(wins), agg.Conflicts, agg.ConflictRetries, agg.ConflictWindows, agg.ConflictWindowSaved)
+}
+
 // TestDifferentialOracleWatchFedBroker is the two-broker variant: broker B
 // owns every mutation, broker A only watches and probes. A's cache hears
 // nothing through its own 2PC path — the watch stream is its only

@@ -38,6 +38,7 @@ package grid
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -560,6 +561,20 @@ func (s *Site) Prepare(now period.Time, holdID string, start, end period.Time, s
 // flush — as a fragment of the caller's trace, parented under the broker's
 // prepare span.
 func (s *Site) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return s.PrepareConflictTraced(tc, now, holdID, start, end, servers, lease, 0)
+}
+
+// PrepareConflictTraced is PrepareTraced for callers that probed first:
+// probedEpoch is the site epoch their availability answer was computed at
+// (zero when unknown, degrading to plain PrepareTraced). When the scheduler
+// refuses the window for capacity and the site's epoch has moved past
+// probedEpoch, the refusal is classified as a *ConflictError — the servers
+// were (as far as the caller knew) free at probe time and were taken since,
+// so the same window may succeed with a different split. A refusal at an
+// unmoved epoch means the probe itself overstated what this exact window
+// can hold (or the caller over-asked) and stays a plain error: retrying
+// without new information cannot help.
+func (s *Site) PrepareConflictTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error) {
 	if holdID == "" || servers <= 0 || end <= start || lease <= 0 {
 		return nil, fmt.Errorf("grid %s: invalid prepare (hold %q, %d servers, [%d,%d), lease %d)",
 			s.name, holdID, servers, start, end, lease)
@@ -595,6 +610,11 @@ func (s *Site) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string,
 			Deadline: end, // forbid the scheduler from sliding the start
 		})
 		if err != nil {
+			if probedEpoch != 0 && errors.Is(err, core.ErrRejected) {
+				if cur := s.epochSalt + s.sched.MutationEpoch(); cur != probedEpoch {
+					return &ConflictError{Site: s.name, Epoch: cur, Err: err}
+				}
+			}
 			return fmt.Errorf("grid %s: cannot prepare %d servers at [%d,%d): %w", s.name, servers, start, end, err)
 		}
 		hold := Hold{ID: holdID, Alloc: alloc, Expires: now.Add(lease)}

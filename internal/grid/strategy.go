@@ -12,7 +12,12 @@ type Avail struct {
 	Conn      Conn
 	Available int
 	Capacity  int
-	Err       error
+	// Epoch is the site epoch the answer was computed at (zero when the site
+	// does not report epochs). The broker threads it into each share's
+	// prepare so the site can classify a refusal as a conflict — see
+	// ConflictPrepareConn.
+	Epoch uint64
+	Err   error
 }
 
 // Share is a strategy's assignment of part of a job to a site.
@@ -144,6 +149,57 @@ func (LoadBalance) Split(total int, avail []Avail) ([]Share, error) {
 		}
 	}
 	return out, nil
+}
+
+// Affinity wraps a strategy with a per-broker offset into the site order:
+// Split sees the availability slice rotated by Offset, so the stable-sort
+// tie-breaking inside the wrapped strategy resolves toward a different
+// first-choice site per broker. A fleet of brokers with distinct names
+// therefore spreads its first choices instead of piling onto the globally
+// most-available site and conflicting there — the conflict-aware request
+// distribution of the arktos global-scheduler design. Rotation never
+// changes which sites are feasible or how much each can hold, only the
+// order equal-availability ties resolve in.
+type Affinity struct {
+	S      Strategy
+	Offset int
+}
+
+// Name implements Strategy.
+func (a Affinity) Name() string { return a.S.Name() + "+affinity" }
+
+// Split implements Strategy.
+func (a Affinity) Split(total int, avail []Avail) ([]Share, error) {
+	n := len(avail)
+	if n == 0 {
+		return a.S.Split(total, avail)
+	}
+	off := a.Offset % n
+	if off < 0 {
+		off += n
+	}
+	if off == 0 {
+		return a.S.Split(total, avail)
+	}
+	rot := make([]Avail, 0, n)
+	rot = append(rot, avail[off:]...)
+	rot = append(rot, avail[:off]...)
+	return a.S.Split(total, rot)
+}
+
+// AffinityOffset hashes a broker name over nSites site-order positions —
+// the Offset a fleet member passes to Affinity so distinct broker names
+// land on distinct (well-spread) first-choice sites.
+func AffinityOffset(name string, nSites int) int {
+	if nSites <= 0 {
+		return 0
+	}
+	var h uint64 = 14695981039346656037 // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(nSites))
 }
 
 // StrategyByName returns a registered strategy or nil.

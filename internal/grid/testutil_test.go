@@ -128,10 +128,12 @@ type chaosConn struct {
 	probeCalls   atomic.Int64
 	prepareCalls atomic.Int64
 	commitCalls  atomic.Int64
+	abortCalls   atomic.Int64
 
 	failProbes    atomic.Int64 // fail this many probes, then pass
 	failPrepares  atomic.Int64 // fail this many prepares, then pass
 	failCommits   atomic.Int64 // fail this many commits, then pass
+	failAborts    atomic.Int64 // fail this many aborts, then pass
 	timeoutErrors atomic.Bool  // injected failures classify as timeouts
 	prepareLands  atomic.Bool  // a failed prepare still reaches the site
 }
@@ -163,6 +165,15 @@ func (c *chaosConn) Prepare(now period.Time, holdID string, start, end period.Ti
 		return nil, c.inject()
 	}
 	return c.Conn.Prepare(now, holdID, start, end, servers, lease)
+}
+
+func (c *chaosConn) Abort(now period.Time, holdID string) error {
+	c.abortCalls.Add(1)
+	if c.failAborts.Load() > 0 {
+		c.failAborts.Add(-1)
+		return c.inject()
+	}
+	return c.Conn.Abort(now, holdID)
 }
 
 func (c *chaosConn) Commit(now period.Time, holdID string) error {

@@ -47,6 +47,12 @@ const (
 	EventPromote  = "promote"
 	EventFenced   = "fenced"
 	EventFailover = "failover"
+
+	// EventConflict marks a prepare lost to optimistic concurrency: the
+	// site's capacity moved between the broker's probe and its prepare, and
+	// the broker may retry the same window against a fresh probe of only the
+	// contended site.
+	EventConflict = "conflict"
 )
 
 // Tracer receives structured per-request events. Implementations must be

@@ -7,6 +7,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -68,6 +69,14 @@ type RangeReply struct {
 }
 
 // PrepareArgs leases servers for a window (2PC phase 1).
+//
+// ProbedEpoch is the site epoch the broker's availability answer was
+// computed at; zero (also what a request from a pre-conflict broker decodes
+// as) means "did not probe / no epoch support" and disables conflict
+// classification for the call. It doubles as the compat gate for the reply:
+// only a caller that sent a non-zero ProbedEpoch understands the Conflict
+// reply fields, so the server never answers an old broker with a
+// nil-error-plus-Conflict reply it would misread as a successful prepare.
 type PrepareArgs struct {
 	Now     period.Time
 	HoldID  string
@@ -77,6 +86,7 @@ type PrepareArgs struct {
 	Lease   period.Duration
 	// Trace context; see ProbeArgs.
 	TraceID, SpanID uint64
+	ProbedEpoch     uint64
 }
 
 // PrepareReply lists the granted server IDs and the site epoch after the
@@ -84,9 +94,21 @@ type PrepareArgs struct {
 // cached probe answers under is gone (it invalidates around its own 2PC
 // traffic regardless — the field closes the loop for third-party observers
 // and keeps all three reply types uniformly tagged).
+//
+// Conflict reports a prepare lost to optimistic concurrency: the requested
+// servers were free at the caller's ProbedEpoch but the site's epoch has
+// moved (to ConflictEpoch) and the window no longer fits. It rides the
+// reply with a nil RPC error because net/rpc does not transmit the reply
+// body when the handler errors — and it is only ever set for callers that
+// proved they understand it (ProbedEpoch != 0 on the request; see
+// PrepareArgs). A reply from an old server decodes with Conflict == false,
+// so a new broker talking to an old site sees plain errors and degrades to
+// the Δt-ladder behavior.
 type PrepareReply struct {
-	Servers []int
-	Epoch   uint64
+	Servers       []int
+	Epoch         uint64
+	Conflict      bool
+	ConflictEpoch uint64
 }
 
 // DecideArgs commits or aborts a hold (2PC phase 2).
@@ -177,6 +199,9 @@ type Service struct {
 	// suppressWatch answers Watch/ProbeBatch like a binary without the
 	// methods; see Server.SuppressWatch in watch.go.
 	suppressWatch bool
+	// suppressConflicts answers Prepare like a binary that has epochs but
+	// predates conflict classification; see Server.SuppressConflicts.
+	suppressConflicts bool
 }
 
 // traceContext rebuilds the caller's span context from a request's trace
@@ -216,8 +241,24 @@ func (s *Service) Range(args RangeArgs, reply *RangeReply) error {
 // Prepare implements the RPC method.
 func (s *Service) Prepare(args PrepareArgs, reply *PrepareReply) error {
 	return s.m.observe("Prepare", func() error {
-		servers, err := s.site.PrepareTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease)
+		probedEpoch := args.ProbedEpoch
+		if s.suppressEpochs || s.suppressConflicts {
+			// Emulating a binary that predates the conflict (or the whole
+			// epoch) protocol: never classify, never touch the reply fields.
+			probedEpoch = 0
+		}
+		servers, err := s.site.PrepareConflictTraced(traceContext(args.TraceID, args.SpanID), args.Now, args.HoldID, args.Start, args.End, args.Servers, args.Lease, probedEpoch)
 		if err != nil {
+			var conflict *grid.ConflictError
+			if errors.As(err, &conflict) && args.ProbedEpoch != 0 {
+				// The conflict must ride the reply body under a nil error:
+				// net/rpc drops the body when the handler errors. Safe only
+				// because ProbedEpoch != 0 proved the caller decodes the
+				// field; see PrepareArgs.
+				reply.Conflict = true
+				reply.ConflictEpoch = conflict.Epoch
+				return nil
+			}
 			return err
 		}
 		reply.Servers = servers
@@ -304,6 +345,13 @@ func NewServer(site *grid.Site) (*Server, error) {
 // -suppress-epochs) use it to prove a caching broker degrades to uncached
 // correctness against old servers instead of poisoning its cache.
 func (s *Server) SuppressEpochs() { s.svc.suppressEpochs = true }
+
+// SuppressConflicts makes the server answer Prepare like a binary that
+// reports epochs but predates conflict classification: every capacity
+// refusal returns as a plain RPC error, never as a Conflict reply. Call
+// before Serve. Tests use it to prove a conflict-aware broker degrades to
+// the Δt-ladder behavior against such servers.
+func (s *Server) SuppressConflicts() { s.svc.suppressConflicts = true }
 
 // Instrument installs per-method latency histograms, an error counter, and
 // connection gauges under reg's "wire.server." prefix. Call before Serve.
@@ -435,9 +483,10 @@ type Client struct {
 }
 
 var (
-	_ grid.Conn       = (*Client)(nil)
-	_ grid.RangeConn  = (*Client)(nil)
-	_ grid.TracedConn = (*Client)(nil)
+	_ grid.Conn                = (*Client)(nil)
+	_ grid.RangeConn           = (*Client)(nil)
+	_ grid.TracedConn          = (*Client)(nil)
+	_ grid.ConflictPrepareConn = (*Client)(nil)
 )
 
 // Dial connects to a site daemon and fetches its identity, with no
@@ -650,13 +699,24 @@ func (c *Client) Prepare(now period.Time, holdID string, start, end period.Time,
 
 // PrepareTraced implements grid.TracedConn.
 func (c *Client) PrepareTraced(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration) ([]int, error) {
+	return c.PrepareConflict(tc, now, holdID, start, end, servers, lease, 0)
+}
+
+// PrepareConflict implements grid.ConflictPrepareConn: Prepare carrying the
+// probed epoch, with a Conflict reply rebuilt into the typed error the
+// broker's retry path matches on. Against an old server the reply decodes
+// with Conflict false and every refusal stays a plain error.
+func (c *Client) PrepareConflict(tc obs.SpanContext, now period.Time, holdID string, start, end period.Time, servers int, lease period.Duration, probedEpoch uint64) ([]int, error) {
 	var reply PrepareReply
 	err := c.call("Prepare", PrepareArgs{
 		Now: now, HoldID: holdID, Start: start, End: end, Servers: servers, Lease: lease,
-		TraceID: tc.TraceID, SpanID: tc.SpanID,
+		TraceID: tc.TraceID, SpanID: tc.SpanID, ProbedEpoch: probedEpoch,
 	}, &reply)
 	if err != nil {
 		return nil, err
+	}
+	if reply.Conflict {
+		return nil, &grid.ConflictError{Site: c.name, Epoch: reply.ConflictEpoch}
 	}
 	return reply.Servers, nil
 }
