@@ -11,6 +11,7 @@
 //	loadgen -mode failover            # replicated site losing its primary mid-run
 //	loadgen -mode stale               # passive vs push-invalidated cache staleness
 //	loadgen -mode federate            # N contending brokers, conflict retry on vs off
+//	loadgen -mode backends            # availability backends raced head to head over TCP
 //
 // -mode chaos boots a three-site federation over loopback TCP behind
 // internal/faultnet proxies, runs closed-loop broker probes healthy for half
@@ -50,6 +51,13 @@
 // same-window conflict retry on and off; the report compares conflict rate,
 // goodput, p99, and the conflict-abandonment rate the retry path exists to
 // reduce.
+//
+// -mode backends races every registered availability backend through the
+// same seeded workload end to end: per backend, one fresh site behind a real
+// wire server on loopback TCP, a closed-loop probe phase (read path) and a
+// closed-loop prepare/abort phase (write path). The report carries per-phase
+// rates and latency percentiles for each backend plus the flat/dtree rate
+// ratios, so index regressions show up as a number, not a feeling.
 //
 // -mode stale times the stale-cache window itself: a second broker mutates a
 // window the first broker has cached, every -mutate-every, and the run
@@ -137,11 +145,18 @@ func (s *sampler) percentile(p float64) float64 {
 }
 
 // seedSite builds a site with a spread of committed reservations so probe
-// searches traverse non-trivial slot trees, mirroring internal/grid's
+// searches traverse non-trivial slot indexes, mirroring internal/grid's
 // benchmark fixture.
 func seedSite(name string, servers int, slotSize int64, slots int) (*grid.Site, error) {
+	return seedSiteBackend(name, "", servers, slotSize, slots)
+}
+
+// seedSiteBackend is seedSite on an explicit availability backend; the
+// backends mode uses it to build identical fixtures on every index.
+func seedSiteBackend(name, backend string, servers int, slotSize int64, slots int) (*grid.Site, error) {
 	s, err := grid.NewSite(name, core.Config{
 		Servers:  servers,
+		Backend:  backend,
 		SlotSize: period.Duration(slotSize),
 		Slots:    slots,
 	}, 0)
@@ -162,8 +177,8 @@ func seedSite(name string, servers int, slotSize int64, slots int) (*grid.Site, 
 	return s, nil
 }
 
-func runPoint(mode string, servers int, slotSize int64, slots int, walDir string, clients int, dur time.Duration) (point, error) {
-	site, err := seedSite("loadgen", servers, slotSize, slots)
+func runPoint(mode, backend string, servers int, slotSize int64, slots int, walDir string, clients int, dur time.Duration) (point, error) {
+	site, err := seedSiteBackend("loadgen", backend, servers, slotSize, slots)
 	if err != nil {
 		return point{}, err
 	}
@@ -263,7 +278,8 @@ func main() {
 	slots := flag.Int("slots", 96, "calendar slots")
 	clientsFlag := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	dur := flag.Duration("duration", 2*time.Second, "measurement window per client count")
-	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, failover, stale, or federate")
+	mode := flag.String("mode", "probe", "workload: probe, mixed, write, chaos, cache, trace-overhead, failover, stale, federate, or backends")
+	backend := flag.String("backend", "", "availability backend for probe/mixed/write (empty: default; -mode backends races them all)")
 	walDir := flag.String("wal", "", "journal directory (empty = no WAL)")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	chaosClients := flag.Int("chaos-clients", 8, "closed-loop broker clients for -mode chaos and -mode cache")
@@ -294,6 +310,9 @@ func main() {
 	case "federate":
 		federateMain(*servers, *slotSize, *slots, *brokersFlag, *dur, *callTimeout, *out)
 		return
+	case "backends":
+		backendsMain(*servers, *slotSize, *slots, *chaosClients, *dur, *callTimeout, *out)
+		return
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -305,7 +324,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loadgen: bad client count %q\n", f)
 			os.Exit(2)
 		}
-		p, err := runPoint(*mode, *servers, *slotSize, *slots, *walDir, n, *dur)
+		p, err := runPoint(*mode, *backend, *servers, *slotSize, *slots, *walDir, n, *dur)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)

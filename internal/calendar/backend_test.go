@@ -1,0 +1,176 @@
+package calendar
+
+import (
+	"bytes"
+	"testing"
+
+	"coalloc/internal/period"
+)
+
+// backendCase names one registered backend; the parametrized suite receives
+// it and constructs every calendar through it, so each test runs once per
+// backend as a named subtest.
+type backendCase struct {
+	name string
+}
+
+func (b backendCase) new(cfg Config, now period.Time) (AvailabilityBackend, error) {
+	return NewBackend(b.name, cfg, now)
+}
+
+func (b backendCase) mustNew(t *testing.T, cfg Config, now period.Time) AvailabilityBackend {
+	t.Helper()
+	c, err := b.new(cfg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// forEachBackend runs fn once per registered backend as a subtest named
+// after it — the calendar half of the backend test matrix (internal/grid has
+// its own for the distributed suites).
+func forEachBackend(t *testing.T, fn func(t *testing.T, b backendCase)) {
+	for _, name := range Backends() {
+		t.Run(name, func(t *testing.T) { fn(t, backendCase{name: name}) })
+	}
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{"dtree": false, "flat": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("backend %q not registered (have %v)", n, names)
+		}
+	}
+	if _, err := NewBackend("dtree", Config{Servers: 1, SlotSize: 10, Slots: 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend("", Config{Servers: 1, SlotSize: 10, Slots: 4}, 0); err != nil {
+		t.Fatalf("empty name must select the default backend: %v", err)
+	}
+	if _, err := NewBackend("no-such-backend", Config{Servers: 1, SlotSize: 10, Slots: 4}, 0); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := BackendFromSnapshot("no-such-backend", SnapshotData{}); err == nil {
+		t.Fatal("unknown backend accepted for snapshot restore")
+	}
+}
+
+// TestBackendSnapshotRoundTrip: for every backend, snapshot → restore must
+// reproduce the searchable state and the snapshot bytes exactly — the
+// single-process version of the guarantee grid's crash sweep proves through
+// the WAL.
+func TestBackendSnapshotRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 4, SlotSize: 100, Slots: 20}, 0)
+		windows := [][2]period.Time{{100, 300}, {250, 400}, {500, 700}, {650, 900}}
+		for _, w := range windows {
+			f, _ := c.FindFeasible(w[0], w[1], 1)
+			if len(f) == 0 {
+				t.Fatalf("no feasible period for [%d,%d)", w[0], w[1])
+			}
+			if err := c.Allocate(f[0], w[0], w[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Advance(150)
+
+		var buf bytes.Buffer
+		if err := c.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		r, err := BackendFromSnapshot(b.name, c.SnapshotData())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.CheckConsistency(); err != nil {
+			t.Fatalf("restored backend inconsistent: %v", err)
+		}
+		if r.Now() != c.Now() || r.Ops() != c.Ops() || r.HorizonEnd() != c.HorizonEnd() {
+			t.Fatalf("restored clock/ops/horizon = %d/%d/%d, want %d/%d/%d",
+				r.Now(), r.Ops(), r.HorizonEnd(), c.Now(), c.Ops(), c.HorizonEnd())
+		}
+		// Byte identity must hold before any further reads: searches bump the
+		// ops counter, which the snapshot records.
+		var buf2 bytes.Buffer
+		if err := r.Snapshot(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("snapshot bytes changed across a restore round trip")
+		}
+		for s := period.Time(150); s < c.HorizonEnd(); s += 70 {
+			e := s + 120
+			if e > c.HorizonEnd() {
+				break
+			}
+			got := serversOf(r.RangeSearch(s, e))
+			want := serversOf(c.RangeSearch(s, e))
+			if !equalInts(got, want) {
+				t.Fatalf("restored RangeSearch[%d,%d) = %v, want %v", s, e, got, want)
+			}
+		}
+	})
+}
+
+// TestBackendViewIsolation: a published view must keep answering from its
+// publication instant while the owning backend keeps mutating, for every
+// backend — the copy-on-write contract of DESIGN.md §15.
+func TestBackendViewIsolation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 3, SlotSize: 100, Slots: 20}, 0)
+		f, _ := c.FindFeasible(200, 400, 1)
+		if err := c.Allocate(f[0], 200, 400); err != nil {
+			t.Fatal(err)
+		}
+		v := c.PublishView()
+		wantServers := serversOf(v.RangeSearch(250, 350))
+		wantEpoch := v.Epoch()
+		if wantEpoch != c.MutationEpoch() {
+			t.Fatalf("view epoch %d != backend epoch %d at publication", wantEpoch, c.MutationEpoch())
+		}
+
+		// Mutate the backend heavily after publication: more allocations, a
+		// release, and a rotation.
+		f, _ = c.FindFeasible(250, 350, 2)
+		for _, p := range f {
+			if err := c.Allocate(p, 250, 350); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Release(f[0].Server, 250, 350, 300); err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(450)
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := serversOf(v.RangeSearch(250, 350)); !equalInts(got, wantServers) {
+			t.Fatalf("view answer changed after backend mutations: %v, want %v", got, wantServers)
+		}
+		if v.Epoch() != wantEpoch {
+			t.Fatal("view epoch changed after publication")
+		}
+		if c.MutationEpoch() == wantEpoch {
+			t.Fatal("backend epoch did not move across allocate+release+rotate")
+		}
+		// A fresh view sees the new state.
+		v2 := c.PublishView()
+		if v2.Epoch() == wantEpoch {
+			t.Fatal("fresh view carries the old epoch")
+		}
+		got := serversOf(v2.RangeSearch(500, 600))
+		want := serversOf(c.RangeSearch(500, 600))
+		if !equalInts(got, want) {
+			t.Fatalf("fresh view disagrees with backend: %v, want %v", got, want)
+		}
+	})
+}

@@ -5,37 +5,39 @@ import (
 )
 
 func TestOpsBreakdownAttribution(t *testing.T) {
-	c := mustNew(t, Config{Servers: 8, SlotSize: 100, Slots: 20}, 0)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 8, SlotSize: 100, Slots: 20}, 0)
 
-	bd0 := c.Breakdown()
-	feasible, _ := c.FindFeasible(100, 400, 4)
-	bd1 := c.Breakdown()
-	if bd1.Search <= bd0.Search {
-		t.Fatal("search ops not attributed")
-	}
-	if bd1.Update != bd0.Update {
-		t.Fatal("search attributed to update")
-	}
-
-	for _, p := range feasible[:4] {
-		if err := c.Allocate(p, 100, 400); err != nil {
-			t.Fatal(err)
+		bd0 := c.Breakdown()
+		feasible, _ := c.FindFeasible(100, 400, 4)
+		bd1 := c.Breakdown()
+		if bd1.Search <= bd0.Search {
+			t.Fatal("search ops not attributed")
 		}
-	}
-	bd2 := c.Breakdown()
-	if bd2.Update <= bd1.Update {
-		t.Fatal("allocation ops not attributed to update")
-	}
+		if bd1.Update != bd0.Update {
+			t.Fatal("search attributed to update")
+		}
 
-	c.Advance(450) // past several slots: rotation work
-	bd3 := c.Breakdown()
-	if bd3.Rotate <= bd2.Rotate {
-		t.Fatal("rotation ops not attributed")
-	}
+		for _, p := range feasible[:4] {
+			if err := c.Allocate(p, 100, 400); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bd2 := c.Breakdown()
+		if bd2.Update <= bd1.Update {
+			t.Fatal("allocation ops not attributed to update")
+		}
 
-	// Attribution never exceeds the total counter.
-	total := bd3.Search + bd3.Update + bd3.Rotate
-	if total > c.Ops() {
-		t.Fatalf("attributed %d ops, total only %d", total, c.Ops())
-	}
+		c.Advance(450) // past several slots: rotation work
+		bd3 := c.Breakdown()
+		if bd3.Rotate <= bd2.Rotate {
+			t.Fatal("rotation ops not attributed")
+		}
+
+		// Attribution never exceeds the total counter.
+		total := bd3.Search + bd3.Update + bd3.Rotate
+		if total > c.Ops() {
+			t.Fatalf("attributed %d ops, total only %d", total, c.Ops())
+		}
+	})
 }

@@ -526,10 +526,10 @@ func (c *Calendar) Utilization(a, b period.Time) float64 {
 	return float64(busy) / (float64(b-a) * float64(c.cfg.Servers))
 }
 
-// checkConsistency rebuilds the expected contents of every active slot from
-// the reservation lists and compares them with the actual trees; tests call
-// it through export_test.go.
-func (c *Calendar) checkConsistency() error {
+// CheckConsistency rebuilds the expected contents of every active slot from
+// the reservation lists and compares them with the actual trees; the
+// randomized and differential suites call it continuously.
+func (c *Calendar) CheckConsistency() error {
 	for srv := range c.busy {
 		if err := c.busy[srv].check(); err != nil {
 			return err

@@ -9,240 +9,255 @@ import (
 	"coalloc/internal/period"
 )
 
-func mustNew(t *testing.T, cfg Config, now period.Time) *Calendar {
-	t.Helper()
-	c, err := New(cfg, now)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return c
-}
-
 func TestConfigValidation(t *testing.T) {
-	bad := []Config{
-		{Servers: 0, SlotSize: 10, Slots: 10},
-		{Servers: 4, SlotSize: 0, Slots: 10},
-		{Servers: 4, SlotSize: 10, Slots: 0},
-		{Servers: -1, SlotSize: 10, Slots: 10},
-	}
-	for _, cfg := range bad {
-		if _, err := New(cfg, 0); err == nil {
-			t.Errorf("New(%+v) accepted invalid config", cfg)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		bad := []Config{
+			{Servers: 0, SlotSize: 10, Slots: 10},
+			{Servers: 4, SlotSize: 0, Slots: 10},
+			{Servers: 4, SlotSize: 10, Slots: 0},
+			{Servers: -1, SlotSize: 10, Slots: 10},
 		}
-	}
-	if _, err := New(Config{Servers: 4, SlotSize: 10, Slots: 10}, 0); err != nil {
-		t.Fatalf("valid config rejected: %v", err)
-	}
+		for _, cfg := range bad {
+			if _, err := b.new(cfg, 0); err == nil {
+				t.Errorf("NewBackend(%q, %+v) accepted invalid config", b.name, cfg)
+			}
+		}
+		if _, err := b.new(Config{Servers: 4, SlotSize: 10, Slots: 10}, 0); err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+	})
 }
 
 func TestFreshCalendarAllIdle(t *testing.T) {
-	c := mustNew(t, Config{Servers: 8, SlotSize: 100, Slots: 20}, 0)
-	got := c.RangeSearch(0, 500)
-	if len(got) != 8 {
-		t.Fatalf("fresh calendar offers %d servers, want 8", len(got))
-	}
-	for _, p := range got {
-		if !p.Unbounded() || p.Start != 0 {
-			t.Fatalf("fresh idle period %+v should be (0, inf)", p)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 8, SlotSize: 100, Slots: 20}, 0)
+		got := c.RangeSearch(0, 500)
+		if len(got) != 8 {
+			t.Fatalf("fresh calendar offers %d servers, want 8", len(got))
 		}
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
+		for _, p := range got {
+			if !p.Unbounded() || p.Start != 0 {
+				t.Fatalf("fresh idle period %+v should be (0, inf)", p)
+			}
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestAllocateAndSplit(t *testing.T) {
-	c := mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 20}, 0)
-	feasible, cand := c.FindFeasible(300, 500, 1)
-	if cand != 2 || len(feasible) < 1 {
-		t.Fatalf("FindFeasible = %v, %d", feasible, cand)
-	}
-	p := feasible[0]
-	if err := c.Allocate(p, 300, 500); err != nil {
-		t.Fatal(err)
-	}
-	// The server now has a finite gap (0, 300) and a tail at 500.
-	if c.IdleAt(p.Server, 350) {
-		t.Fatal("server idle inside its own reservation")
-	}
-	if !c.IdleAt(p.Server, 250) || !c.IdleAt(p.Server, 600) {
-		t.Fatal("server not idle outside the reservation")
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 20}, 0)
+		feasible, cand := c.FindFeasible(300, 500, 1)
+		if cand != 2 || len(feasible) < 1 {
+			t.Fatalf("FindFeasible = %v, %d", feasible, cand)
+		}
+		p := feasible[0]
+		if err := c.Allocate(p, 300, 500); err != nil {
+			t.Fatal(err)
+		}
+		// The server now has a finite gap (0, 300) and a tail at 500.
+		if c.IdleAt(p.Server, 350) {
+			t.Fatal("server idle inside its own reservation")
+		}
+		if !c.IdleAt(p.Server, 250) || !c.IdleAt(p.Server, 600) {
+			t.Fatal("server not idle outside the reservation")
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
 
-	// A job needing both servers over the reserved window must fail.
-	feasible, _ = c.FindFeasible(350, 450, 2)
-	if len(feasible) >= 2 {
-		t.Fatalf("both servers reported free during a reservation: %v", feasible)
-	}
-	// The finite gap (0, 300) is found for a small early job.
-	feasible, _ = c.FindFeasible(100, 200, 2)
-	if len(feasible) != 2 {
-		t.Fatalf("early window should fit both servers, got %v", feasible)
-	}
+		// A job needing both servers over the reserved window must fail.
+		feasible, _ = c.FindFeasible(350, 450, 2)
+		if len(feasible) >= 2 {
+			t.Fatalf("both servers reported free during a reservation: %v", feasible)
+		}
+		// The finite gap (0, 300) is found for a small early job.
+		feasible, _ = c.FindFeasible(100, 200, 2)
+		if len(feasible) != 2 {
+			t.Fatalf("early window should fit both servers, got %v", feasible)
+		}
+	})
 }
 
 func TestAllocateStalePeriodFails(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
-	feasible, _ := c.FindFeasible(0, 100, 1)
-	p := feasible[0]
-	if err := c.Allocate(p, 0, 100); err != nil {
-		t.Fatal(err)
-	}
-	// Re-allocating from the stale period must fail loudly.
-	if err := c.Allocate(p, 100, 200); err == nil {
-		t.Fatal("stale trailing period accepted")
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		feasible, _ := c.FindFeasible(0, 100, 1)
+		p := feasible[0]
+		if err := c.Allocate(p, 0, 100); err != nil {
+			t.Fatal(err)
+		}
+		// Re-allocating from the stale period must fail loudly.
+		if err := c.Allocate(p, 100, 200); err == nil {
+			t.Fatal("stale trailing period accepted")
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestAllocationPastHorizonRejected(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 10}, 0)
-	if got, _ := c.FindFeasible(900, 1100, 1); got != nil {
-		t.Fatalf("FindFeasible beyond horizon returned %v", got)
-	}
-	p := period.Period{Server: 0, Start: 0, End: period.Infinity}
-	if err := c.Allocate(p, 900, 1100); err == nil {
-		t.Fatal("allocation past horizon accepted")
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 10}, 0)
+		if got, _ := c.FindFeasible(900, 1100, 1); got != nil {
+			t.Fatalf("FindFeasible beyond horizon returned %v", got)
+		}
+		p := period.Period{Server: 0, Start: 0, End: period.Infinity}
+		if err := c.Allocate(p, 900, 1100); err == nil {
+			t.Fatal("allocation past horizon accepted")
+		}
+	})
 }
 
 func TestAdvanceRotatesSlots(t *testing.T) {
-	c := mustNew(t, Config{Servers: 3, SlotSize: 100, Slots: 10}, 0)
-	// Reserve server 0 at [250, 450).
-	feasible, _ := c.FindFeasible(250, 450, 1)
-	if err := c.Allocate(feasible[0], 250, 450); err != nil {
-		t.Fatal(err)
-	}
-	for _, now := range []period.Time{120, 350, 360, 990, 1500, 5000} {
-		c.Advance(now)
-		if err := c.CheckConsistency(); err != nil {
-			t.Fatalf("after Advance(%d): %v", now, err)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 3, SlotSize: 100, Slots: 10}, 0)
+		// Reserve server 0 at [250, 450).
+		feasible, _ := c.FindFeasible(250, 450, 1)
+		if err := c.Allocate(feasible[0], 250, 450); err != nil {
+			t.Fatal(err)
 		}
-	}
-	// After the horizon has moved far past the reservation, everything is
-	// idle again (the window is now [5000, 6000)).
-	got := c.RangeSearch(5500, 5900)
-	if len(got) != 3 {
-		t.Fatalf("after rotation %d servers idle, want 3", len(got))
-	}
+		for _, now := range []period.Time{120, 350, 360, 990, 1500, 5000} {
+			c.Advance(now)
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatalf("after Advance(%d): %v", now, err)
+			}
+		}
+		// After the horizon has moved far past the reservation, everything is
+		// idle again (the window is now [5000, 6000)).
+		got := c.RangeSearch(5500, 5900)
+		if len(got) != 3 {
+			t.Fatalf("after rotation %d servers idle, want 3", len(got))
+		}
+	})
 }
 
 func TestAdvanceBackwardsPanics(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 10}, 0)
-	c.Advance(500)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Advance backwards did not panic")
-		}
-	}()
-	c.Advance(400)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 10}, 0)
+		c.Advance(500)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Advance backwards did not panic")
+			}
+		}()
+		c.Advance(400)
+	})
 }
 
 func TestReleaseMergesWithTail(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
-	feasible, _ := c.FindFeasible(100, 500, 1)
-	if err := c.Allocate(feasible[0], 100, 500); err != nil {
-		t.Fatal(err)
-	}
-	// Early release at 300: the freed (300, 500) merges into the tail.
-	if err := c.Release(0, 100, 500, 300); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
-	if !c.IdleAt(0, 400) {
-		t.Fatal("released time still busy")
-	}
-	got := c.RangeSearch(300, 1500)
-	if len(got) != 1 || got[0].Start != 300 || !got[0].Unbounded() {
-		t.Fatalf("tail after release = %v, want (300, inf)", got)
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		feasible, _ := c.FindFeasible(100, 500, 1)
+		if err := c.Allocate(feasible[0], 100, 500); err != nil {
+			t.Fatal(err)
+		}
+		// Early release at 300: the freed (300, 500) merges into the tail.
+		if err := c.Release(0, 100, 500, 300); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		if !c.IdleAt(0, 400) {
+			t.Fatal("released time still busy")
+		}
+		got := c.RangeSearch(300, 1500)
+		if len(got) != 1 || got[0].Start != 300 || !got[0].Unbounded() {
+			t.Fatalf("tail after release = %v, want (300, inf)", got)
+		}
+	})
 }
 
 func TestReleaseMergesWithFiniteGap(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
-	// Two back-to-spaced reservations: [100,300) and [600,800).
-	f, _ := c.FindFeasible(100, 300, 1)
-	if err := c.Allocate(f[0], 100, 300); err != nil {
-		t.Fatal(err)
-	}
-	f, _ = c.FindFeasible(600, 800, 1)
-	if err := c.Allocate(f[0], 600, 800); err != nil {
-		t.Fatal(err)
-	}
-	// Release the first at 200: freed (200,300) merges with gap (300,600).
-	if err := c.Release(0, 100, 300, 200); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
-	f, _ = c.FindFeasible(200, 600, 1)
-	if len(f) != 1 || f[0].Start != 200 || f[0].End != 600 {
-		t.Fatalf("merged gap = %v, want (200, 600)", f)
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		// Two back-to-spaced reservations: [100,300) and [600,800).
+		f, _ := c.FindFeasible(100, 300, 1)
+		if err := c.Allocate(f[0], 100, 300); err != nil {
+			t.Fatal(err)
+		}
+		f, _ = c.FindFeasible(600, 800, 1)
+		if err := c.Allocate(f[0], 600, 800); err != nil {
+			t.Fatal(err)
+		}
+		// Release the first at 200: freed (200,300) merges with gap (300,600).
+		if err := c.Release(0, 100, 300, 200); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		f, _ = c.FindFeasible(200, 600, 1)
+		if len(f) != 1 || f[0].Start != 200 || f[0].End != 600 {
+			t.Fatalf("merged gap = %v, want (200, 600)", f)
+		}
+	})
 }
 
 func TestReleaseFullCancellation(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
-	// Three reservations leaving finite gaps on both sides of the middle one.
-	windows := [][2]period.Time{{100, 200}, {400, 500}, {700, 800}}
-	for _, w := range windows {
-		f, _ := c.FindFeasible(w[0], w[1], 1)
-		if err := c.Allocate(f[0], w[0], w[1]); err != nil {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		// Three reservations leaving finite gaps on both sides of the middle one.
+		windows := [][2]period.Time{{100, 200}, {400, 500}, {700, 800}}
+		for _, w := range windows {
+			f, _ := c.FindFeasible(w[0], w[1], 1)
+			if err := c.Allocate(f[0], w[0], w[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Cancel the middle reservation entirely: gaps (200,400), (400,500)
+		// freed, (500,700) must merge into one (200,700).
+		if err := c.Release(0, 400, 500, 400); err != nil {
 			t.Fatal(err)
 		}
-	}
-	// Cancel the middle reservation entirely: gaps (200,400), (400,500)
-	// freed, (500,700) must merge into one (200,700).
-	if err := c.Release(0, 400, 500, 400); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
-	f, _ := c.FindFeasible(200, 700, 1)
-	if len(f) != 1 || f[0].Start != 200 || f[0].End != 700 {
-		t.Fatalf("merged gap = %v, want (200, 700)", f)
-	}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := c.FindFeasible(200, 700, 1)
+		if len(f) != 1 || f[0].Start != 200 || f[0].End != 700 {
+			t.Fatalf("merged gap = %v, want (200, 700)", f)
+		}
+	})
 }
 
 func TestReleaseErrors(t *testing.T) {
-	c := mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
-	if err := c.Release(5, 0, 100, 50); err == nil {
-		t.Fatal("release on unknown server accepted")
-	}
-	if err := c.Release(0, 0, 100, 50); err == nil {
-		t.Fatal("release of nonexistent reservation accepted")
-	}
-	if err := c.Release(0, 0, 100, 100); err == nil {
-		t.Fatal("release that does not shrink accepted")
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		if err := c.Release(5, 0, 100, 50); err == nil {
+			t.Fatal("release on unknown server accepted")
+		}
+		if err := c.Release(0, 0, 100, 50); err == nil {
+			t.Fatal("release of nonexistent reservation accepted")
+		}
+		if err := c.Release(0, 0, 100, 100); err == nil {
+			t.Fatal("release that does not shrink accepted")
+		}
+	})
 }
 
 func TestUtilization(t *testing.T) {
-	c := mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 20}, 0)
-	f, _ := c.FindFeasible(0, 1000, 1)
-	if err := c.Allocate(f[0], 0, 1000); err != nil {
-		t.Fatal(err)
-	}
-	if got := c.Utilization(0, 1000); got != 0.5 {
-		t.Fatalf("Utilization = %v, want 0.5", got)
-	}
-	if got := c.Utilization(1000, 2000); got != 0 {
-		t.Fatalf("Utilization after reservations = %v, want 0", got)
-	}
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 20}, 0)
+		f, _ := c.FindFeasible(0, 1000, 1)
+		if err := c.Allocate(f[0], 0, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Utilization(0, 1000); got != 0.5 {
+			t.Fatalf("Utilization = %v, want 0.5", got)
+		}
+		if got := c.Utilization(1000, 2000); got != 0 {
+			t.Fatalf("Utilization after reservations = %v, want 0", got)
+		}
+	})
 }
 
 // oracleAvailable lists the servers idle throughout [s, e) according to the
-// busy lists alone — the ground truth the slot trees must agree with.
-func oracleAvailable(c *Calendar, s, e period.Time) []int {
+// busy lists alone — the ground truth the slot indexes must agree with.
+func oracleAvailable(c AvailabilityBackend, s, e period.Time) []int {
 	var out []int
 	for srv := 0; srv < c.Servers(); srv++ {
 		if c.BusyBetween(srv, s, e) == 0 {
@@ -273,150 +288,156 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-// TestRandomizedAgainstOracle drives the calendar with a random mixture of
+// TestRandomizedAgainstOracle drives each backend with a random mixture of
 // allocations, releases, advances, and searches, continuously checking the
-// trees against the busy-list ground truth.
+// slot indexes against the busy-list ground truth.
 func TestRandomizedAgainstOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
-	const slotSize = 60
-	cfg := Config{Servers: 24, SlotSize: slotSize, Slots: 48}
-	c := mustNew(t, cfg, 0)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		rng := rand.New(rand.NewSource(99))
+		const slotSize = 60
+		cfg := Config{Servers: 24, SlotSize: slotSize, Slots: 48}
+		c := b.mustNew(t, cfg, 0)
 
-	type alloc struct {
-		server     int
-		start, end period.Time
-	}
-	var live []alloc
-	now := period.Time(0)
+		type alloc struct {
+			server     int
+			start, end period.Time
+		}
+		var live []alloc
+		now := period.Time(0)
 
-	for step := 0; step < 1500; step++ {
-		switch rng.Intn(10) {
-		case 0: // advance time
-			now += period.Time(rng.Int63n(3 * slotSize))
-			c.Advance(now)
-			// Drop bookkeeping for long-past allocations (they stay in the
-			// busy lists; we only track them for release candidates).
-		case 1, 2: // release a random live allocation
-			if len(live) == 0 {
-				continue
-			}
-			i := rng.Intn(len(live))
-			a := live[i]
-			if a.end <= now {
-				continue // already in the past; keep history intact
-			}
-			newEnd := a.start + period.Time(rng.Int63n(int64(a.end-a.start)))
-			if err := c.Release(a.server, a.start, a.end, newEnd); err != nil {
-				t.Fatalf("step %d: release %+v -> %d: %v", step, a, newEnd, err)
-			}
-			live = append(live[:i], live[i+1:]...)
-		default: // allocate
-			s := now + period.Time(rng.Int63n(int64(c.HorizonEnd()-now)/2+1))
-			l := period.Time(1 + rng.Int63n(6*slotSize))
-			e := s + l
-			if e > c.HorizonEnd() {
-				continue
-			}
-			want := 1 + rng.Intn(4)
-			feasible, _ := c.FindFeasible(s, e, want)
-			oracle := oracleAvailable(c, s, e)
-			if len(feasible) >= want && len(oracle) < want {
-				t.Fatalf("step %d: search found %d servers, oracle says only %d idle", step, len(feasible), len(oracle))
-			}
-			if len(feasible) < want && len(oracle) >= want {
-				t.Fatalf("step %d: search failed (%d found) but oracle has %d idle servers for [%d,%d)",
-					step, len(feasible), len(oracle), s, e)
-			}
-			if len(feasible) < want {
-				continue
-			}
-			for _, p := range feasible[:want] {
-				if err := c.Allocate(p, s, e); err != nil {
-					t.Fatalf("step %d: allocate %+v: %v", step, p, err)
+		for step := 0; step < 1500; step++ {
+			switch rng.Intn(10) {
+			case 0: // advance time
+				now += period.Time(rng.Int63n(3 * slotSize))
+				c.Advance(now)
+				// Drop bookkeeping for long-past allocations (they stay in the
+				// busy lists; we only track them for release candidates).
+			case 1, 2: // release a random live allocation
+				if len(live) == 0 {
+					continue
 				}
-				live = append(live, alloc{p.Server, s, e})
+				i := rng.Intn(len(live))
+				a := live[i]
+				if a.end <= now {
+					continue // already in the past; keep history intact
+				}
+				newEnd := a.start + period.Time(rng.Int63n(int64(a.end-a.start)))
+				if err := c.Release(a.server, a.start, a.end, newEnd); err != nil {
+					t.Fatalf("step %d: release %+v -> %d: %v", step, a, newEnd, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			default: // allocate
+				s := now + period.Time(rng.Int63n(int64(c.HorizonEnd()-now)/2+1))
+				l := period.Time(1 + rng.Int63n(6*slotSize))
+				e := s + l
+				if e > c.HorizonEnd() {
+					continue
+				}
+				want := 1 + rng.Intn(4)
+				feasible, _ := c.FindFeasible(s, e, want)
+				oracle := oracleAvailable(c, s, e)
+				if len(feasible) >= want && len(oracle) < want {
+					t.Fatalf("step %d: search found %d servers, oracle says only %d idle", step, len(feasible), len(oracle))
+				}
+				if len(feasible) < want && len(oracle) >= want {
+					t.Fatalf("step %d: search failed (%d found) but oracle has %d idle servers for [%d,%d)",
+						step, len(feasible), len(oracle), s, e)
+				}
+				if len(feasible) < want {
+					continue
+				}
+				for _, p := range feasible[:want] {
+					if err := c.Allocate(p, s, e); err != nil {
+						t.Fatalf("step %d: allocate %+v: %v", step, p, err)
+					}
+					live = append(live, alloc{p.Server, s, e})
+				}
+			}
+			if step%50 == 0 {
+				if err := c.CheckConsistency(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			if step%17 == 0 {
+				s := now + period.Time(rng.Int63n(int64(c.HorizonEnd()-now)+1))
+				e := s + 1 + period.Time(rng.Int63n(4*slotSize))
+				if e > c.HorizonEnd() || s >= c.HorizonEnd() {
+					continue
+				}
+				got := serversOf(c.RangeSearch(s, e))
+				want := oracleAvailable(c, s, e)
+				if want == nil {
+					want = []int{}
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("step %d: RangeSearch[%d,%d) = %v, oracle %v", step, s, e, got, want)
+				}
 			}
 		}
-		if step%50 == 0 {
-			if err := c.CheckConsistency(); err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
 		}
-		if step%17 == 0 {
-			s := now + period.Time(rng.Int63n(int64(c.HorizonEnd()-now)+1))
-			e := s + 1 + period.Time(rng.Int63n(4*slotSize))
-			if e > c.HorizonEnd() || s >= c.HorizonEnd() {
-				continue
+	})
+}
+
+// TestQuickRangeSearchMatchesOracle: property — after arbitrary valid
+// allocations, a range search agrees with the busy lists, on every backend.
+func TestQuickRangeSearchMatchesOracle(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		f := func(seed int64, sRaw, lRaw uint16) bool {
+			rng := rand.New(rand.NewSource(seed))
+			c, err := b.new(Config{Servers: 10, SlotSize: 50, Slots: 30}, 0)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < 40; i++ {
+				s := period.Time(rng.Int63n(1200))
+				e := s + 1 + period.Time(rng.Int63n(300))
+				if e > c.HorizonEnd() {
+					continue
+				}
+				feasible, _ := c.FindFeasible(s, e, 1)
+				if len(feasible) == 0 {
+					continue
+				}
+				if err := c.Allocate(feasible[0], s, e); err != nil {
+					return false
+				}
+			}
+			s := period.Time(sRaw) % 1400
+			e := s + 1 + period.Time(lRaw)%200
+			if e > c.HorizonEnd() {
+				return true
 			}
 			got := serversOf(c.RangeSearch(s, e))
 			want := oracleAvailable(c, s, e)
 			if want == nil {
 				want = []int{}
 			}
-			if !equalInts(got, want) {
-				t.Fatalf("step %d: RangeSearch[%d,%d) = %v, oracle %v", step, s, e, got, want)
-			}
+			return equalInts(got, want)
 		}
-	}
-	if err := c.CheckConsistency(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestQuickRangeSearchMatchesOracle: property — after arbitrary valid
-// allocations, a range search agrees with the busy lists.
-func TestQuickRangeSearchMatchesOracle(t *testing.T) {
-	f := func(seed int64, sRaw, lRaw uint16) bool {
-		rng := rand.New(rand.NewSource(seed))
-		c, err := New(Config{Servers: 10, SlotSize: 50, Slots: 30}, 0)
-		if err != nil {
-			return false
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatal(err)
 		}
-		for i := 0; i < 40; i++ {
-			s := period.Time(rng.Int63n(1200))
-			e := s + 1 + period.Time(rng.Int63n(300))
-			if e > c.HorizonEnd() {
-				continue
-			}
-			feasible, _ := c.FindFeasible(s, e, 1)
-			if len(feasible) == 0 {
-				continue
-			}
-			if err := c.Allocate(feasible[0], s, e); err != nil {
-				return false
-			}
-		}
-		s := period.Time(sRaw) % 1400
-		e := s + 1 + period.Time(lRaw)%200
-		if e > c.HorizonEnd() {
-			return true
-		}
-		got := serversOf(c.RangeSearch(s, e))
-		want := oracleAvailable(c, s, e)
-		if want == nil {
-			want = []int{}
-		}
-		return equalInts(got, want)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
 func TestOpsCounterGrows(t *testing.T) {
-	c := mustNew(t, Config{Servers: 16, SlotSize: 100, Slots: 20}, 0)
-	if c.Ops() == 0 {
-		// Tail index construction may or may not count; force a search.
-		c.FindFeasible(100, 200, 4)
-	}
-	before := c.Ops()
-	f, _ := c.FindFeasible(100, 200, 4)
-	for _, p := range f[:4] {
-		if err := c.Allocate(p, 100, 200); err != nil {
-			t.Fatal(err)
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 16, SlotSize: 100, Slots: 20}, 0)
+		if c.Ops() == 0 {
+			// Tail index construction may or may not count; force a search.
+			c.FindFeasible(100, 200, 4)
 		}
-	}
-	if c.Ops() <= before {
-		t.Fatal("operation counter did not grow across search + allocate")
-	}
+		before := c.Ops()
+		f, _ := c.FindFeasible(100, 200, 4)
+		for _, p := range f[:4] {
+			if err := c.Allocate(p, 100, 200); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Ops() <= before {
+			t.Fatal("operation counter did not grow across search + allocate")
+		}
+	})
 }

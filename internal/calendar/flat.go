@@ -1,0 +1,679 @@
+package calendar
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"coalloc/internal/dtree"
+	"coalloc/internal/period"
+)
+
+// Flat is an array-based availability backend in the spirit of Brodnik &
+// Nilsson's static structure for discrete advance reservations: each slot of
+// the horizon holds the finite idle periods overlapping it as one contiguous
+// slice sorted by ascending start time, instead of the paper's 2-D tree.
+// Candidate counting is a single binary search (periods with Start <= s form
+// a prefix) and the feasibility phase is a backward scan over that prefix,
+// so searches touch cache-contiguous memory with no pointer chasing and
+// mutations are memmoves — trading the tree's O(log² n) update bound for
+// constant-factor wins at the slot populations real horizons produce.
+//
+// Flat implements AvailabilityBackend with semantics identical to Calendar:
+// the same ground truth (per-server busyList + tailIndex), the same
+// two-phase search contract including the skip-phase-2 rule, the same
+// mutation-epoch bump points, and the same backend-neutral snapshot form.
+// FuzzBackendEquivalence holds the two implementations to that word.
+type Flat struct {
+	cfg       Config
+	ops       uint64 // elementary operations: binary-search probes and element scans
+	mut       uint64 // mutation epoch; same bump points as Calendar
+	breakdown OpsBreakdown
+	tm        *Timings // optional wall-clock timings; flat has no per-tree layer
+	now       period.Time
+	genesis   period.Time
+	base      int64             // absolute index of the earliest active slot
+	slots     [][]period.Period // ring of slot profiles, each sorted by flatLess
+	shared    []bool            // per ring position: slice is referenced by a published view
+	busy      []busyList
+	tails     *tailIndex
+}
+
+// flatLess is the total order of a slot profile: ascending start, then
+// server, then end. Any total order works — searches only need the
+// Start <= s prefix property — but it must be total so insert and remove
+// can locate exact elements by binary search.
+func flatLess(a, b period.Period) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Server != b.Server {
+		return a.Server < b.Server
+	}
+	return a.End < b.End
+}
+
+// NewFlat creates a flat backend starting at time now with every server idle.
+func NewFlat(cfg Config, now period.Time) (*Flat, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Flat{
+		cfg:     cfg,
+		now:     now,
+		genesis: now,
+		base:    int64(now) / int64(cfg.SlotSize),
+		slots:   make([][]period.Period, cfg.Slots),
+		shared:  make([]bool, cfg.Slots),
+		busy:    make([]busyList, cfg.Servers),
+	}
+	f.tails = newTailIndex(cfg.Servers, now, &f.ops)
+	return f, nil
+}
+
+// Ops returns the cumulative number of elementary operations — the metric of
+// Fig. 7(b), counted in this backend's own currency (probes and scans).
+func (f *Flat) Ops() uint64 { return f.ops }
+
+// SetOps overwrites the operation counter; WAL replay uses it to reinstate
+// the exact pre-crash value (see Calendar.SetOps).
+func (f *Flat) SetOps(n uint64) { f.ops = n }
+
+// MutationEpoch returns the mutation epoch; the bump points are identical to
+// Calendar.MutationEpoch, which is part of the backend contract.
+func (f *Flat) MutationEpoch() uint64 { return f.mut }
+
+// Breakdown returns the phase attribution of the operation counter.
+func (f *Flat) Breakdown() OpsBreakdown { return f.breakdown }
+
+// Now returns the backend's current time.
+func (f *Flat) Now() period.Time { return f.now }
+
+// Servers returns N.
+func (f *Flat) Servers() int { return f.cfg.Servers }
+
+// Config returns the backend's configuration.
+func (f *Flat) Config() Config { return f.cfg }
+
+// WindowStart returns the left edge of the earliest active slot.
+func (f *Flat) WindowStart() period.Time {
+	return period.Time(f.base * int64(f.cfg.SlotSize))
+}
+
+// HorizonEnd returns the right edge of the last active slot.
+func (f *Flat) HorizonEnd() period.Time {
+	return period.Time((f.base + int64(f.cfg.Slots)) * int64(f.cfg.SlotSize))
+}
+
+// SetTimings installs wall-clock timing collection. The tree argument is
+// accepted for interface compatibility and ignored: flat slots have no
+// per-tree instrumentation layer.
+func (f *Flat) SetTimings(cal *Timings, _ *dtree.Timings) { f.tm = cal }
+
+// attribute returns a closure that adds the ops spent since the call to the
+// given phase bucket.
+func (f *Flat) attribute(bucket *uint64) func() {
+	before := f.ops
+	return func() { *bucket += f.ops - before }
+}
+
+func (f *Flat) slotIndex(t period.Time) int64 {
+	return int64(t) / int64(f.cfg.SlotSize)
+}
+
+// ownedSlot returns the ring position of abs, copying the slot slice first
+// if a published view still references it — the write half of the
+// copy-on-write contract. Mutate slot profiles only through this accessor.
+func (f *Flat) ownedSlot(abs int64) int {
+	i := int(abs % int64(f.cfg.Slots))
+	if f.shared[i] {
+		f.slots[i] = append([]period.Period(nil), f.slots[i]...)
+		f.shared[i] = false
+	}
+	return i
+}
+
+// replaceSlot installs an empty profile at the ring position of abs (slot
+// rotation); the previous slice may live on inside a published view.
+func (f *Flat) replaceSlot(abs int64) {
+	i := abs % int64(f.cfg.Slots)
+	f.slots[i] = nil
+	f.shared[i] = false
+}
+
+// slotInsert adds a period to the slot profile at ring position i.
+func (f *Flat) slotInsert(i int, p period.Period) {
+	s := f.slots[i]
+	j := sort.Search(len(s), func(k int) bool { return !flatLess(s[k], p) })
+	f.ops += 8 // binary-search probes plus the shift, mirroring tailIndex.update
+	s = append(s, period.Period{})
+	copy(s[j+1:], s[j:])
+	s[j] = p
+	f.slots[i] = s
+}
+
+// slotRemove removes an exact period from the slot profile at ring position
+// i, reporting whether it was present.
+func (f *Flat) slotRemove(i int, p period.Period) bool {
+	s := f.slots[i]
+	j := sort.Search(len(s), func(k int) bool { return !flatLess(s[k], p) })
+	f.ops += 8
+	if j >= len(s) || s[j] != p {
+		return false
+	}
+	f.slots[i] = append(s[:j], s[j+1:]...)
+	return true
+}
+
+// flatCandidates counts the periods with Start <= s: they are a prefix of
+// the sorted profile, so one binary search suffices.
+func flatCandidates(slot []period.Period, s period.Time, ops *uint64) int {
+	n := sort.Search(len(slot), func(k int) bool { return slot[k].Start > s })
+	if ops != nil {
+		*ops += 4
+	}
+	return n
+}
+
+// flatSearch is the two-phase search over one slot profile: Phase 1 is the
+// candidate prefix count, Phase 2 a backward scan over the prefix keeping
+// periods with End >= end — latest starts first, the paper's retrieval
+// order. If max > 0 and fewer than max candidates exist, Phase 2 is skipped
+// and (nil, candidates) is returned, exactly like dtree.Search. ops may be
+// nil for side-effect-free view reads.
+func flatSearch(slot []period.Period, start, end period.Time, max int, ops *uint64) (feasible []period.Period, candidates int) {
+	candidates = flatCandidates(slot, start, ops)
+	if max > 0 && candidates < max {
+		return nil, candidates
+	}
+	for i := candidates - 1; i >= 0; i-- {
+		if ops != nil {
+			*ops++
+		}
+		if slot[i].End >= end {
+			feasible = append(feasible, slot[i])
+			if max > 0 && len(feasible) >= max {
+				return feasible, candidates
+			}
+		}
+	}
+	return feasible, candidates
+}
+
+// Advance moves the clock to now, discarding expired slot profiles and
+// filling profiles for the slots that enter the horizon — the same rotation
+// as Calendar.Advance, including the wholesale rebuild on long idle jumps
+// and the epoch bump only when the base slot actually moves.
+func (f *Flat) Advance(now period.Time) {
+	if now < f.now {
+		panic(fmt.Sprintf("calendar: Advance to %d before current time %d", now, f.now))
+	}
+	if f.tm != nil {
+		defer f.tm.observe(f.tm.Rotate, time.Now())
+	}
+	defer f.attribute(&f.breakdown.Rotate)()
+	f.now = now
+	newBase := f.slotIndex(now)
+	if newBase <= f.base {
+		return
+	}
+	f.mut++
+	q := int64(f.cfg.Slots)
+	if newBase-f.base >= q {
+		// The entire window expired (a long idle jump): rebuild wholesale.
+		f.base = newBase
+		for abs := newBase; abs < newBase+q; abs++ {
+			f.replaceSlot(abs)
+			f.fillSlot(abs)
+		}
+		return
+	}
+	for abs := f.base + q; abs < newBase+q; abs++ {
+		f.replaceSlot(abs) // drop the expired profile occupying this ring position
+		f.fillSlot(abs)
+	}
+	f.base = newBase
+}
+
+// fillSlot populates a fresh slot profile with every finite idle period that
+// overlaps the slot, derived from the per-server reservation lists.
+func (f *Flat) fillSlot(abs int64) {
+	w0 := period.Time(abs * int64(f.cfg.SlotSize))
+	w1 := period.Time((abs + 1) * int64(f.cfg.SlotSize))
+	i := f.ownedSlot(abs)
+	var buf []period.Period
+	for srv := range f.busy {
+		f.ops++ // one reservation-list probe per server per new slot
+		buf = f.busy[srv].gapsOverlapping(f.genesis, w0, w1, srv, buf[:0])
+		f.slots[i] = append(f.slots[i], buf...)
+	}
+	s := f.slots[i]
+	sort.Slice(s, func(a, b int) bool { return flatLess(s[a], s[b]) })
+	f.ops += uint64(len(s))
+}
+
+// insertFinite adds a finite idle period to the profile of every active slot
+// it overlaps.
+func (f *Flat) insertFinite(p period.Period) {
+	if p.Empty() {
+		return
+	}
+	lo := f.slotIndex(p.Start)
+	hi := f.slotIndex(p.End - 1)
+	if lo < f.base {
+		lo = f.base
+	}
+	if last := f.base + int64(f.cfg.Slots) - 1; hi > last {
+		hi = last
+	}
+	for abs := lo; abs <= hi; abs++ {
+		f.slotInsert(f.ownedSlot(abs), p)
+	}
+}
+
+// removeFinite removes a finite idle period from every active slot profile.
+func (f *Flat) removeFinite(p period.Period) error {
+	lo := f.slotIndex(p.Start)
+	hi := f.slotIndex(p.End - 1)
+	if lo < f.base {
+		lo = f.base
+	}
+	if last := f.base + int64(f.cfg.Slots) - 1; hi > last {
+		hi = last
+	}
+	for abs := lo; abs <= hi; abs++ {
+		if !f.slotRemove(f.ownedSlot(abs), p) {
+			return fmt.Errorf("calendar: period %+v missing from slot %d", p, abs)
+		}
+	}
+	return nil
+}
+
+// FindFeasible runs the two-phase search of §4.2 — the same contract and
+// branch structure as Calendar.FindFeasible, over the flat profiles.
+func (f *Flat) FindFeasible(start, end period.Time, want int) ([]period.Period, int) {
+	if want <= 0 || end <= start {
+		return nil, 0
+	}
+	if f.tm != nil {
+		defer f.tm.observe(f.tm.Search, time.Now())
+	}
+	defer f.attribute(&f.breakdown.Search)()
+	q := f.slotIndex(start)
+	if q < f.base || q >= f.base+int64(f.cfg.Slots) || end > f.HorizonEnd() {
+		return nil, 0
+	}
+	slot := f.slots[q%int64(f.cfg.Slots)]
+
+	tailCand := f.tails.candidates(start) // trailing periods are always feasible
+	needFromSlot := want - tailCand
+
+	var feasible []period.Period
+	var slotCand int
+	if needFromSlot > 0 {
+		feasible, slotCand = flatSearch(slot, start, end, needFromSlot, &f.ops)
+		if len(feasible) < needFromSlot {
+			// Not enough even with every trailing period: report failure
+			// with the candidate count for the attempt statistics.
+			if slotCand+tailCand < want {
+				return nil, slotCand + tailCand
+			}
+			// Candidates existed but too few were feasible in this slot.
+			feasible = f.tails.collect(start, want-len(feasible), feasible)
+			return feasible, slotCand + tailCand
+		}
+	} else {
+		slotCand = flatCandidates(slot, start, &f.ops)
+	}
+	if missing := want - len(feasible); missing > 0 {
+		feasible = f.tails.collect(start, missing, feasible)
+	}
+	return feasible, slotCand + tailCand
+}
+
+// RangeSearch returns every idle period feasible for the window [start, end)
+// without committing anything.
+func (f *Flat) RangeSearch(start, end period.Time) []period.Period {
+	if end <= start {
+		return nil
+	}
+	if f.tm != nil {
+		defer f.tm.observe(f.tm.Search, time.Now())
+	}
+	defer f.attribute(&f.breakdown.Search)()
+	q := f.slotIndex(start)
+	if q < f.base || q >= f.base+int64(f.cfg.Slots) || end > f.HorizonEnd() {
+		return nil
+	}
+	feasible, _ := flatSearch(f.slots[q%int64(f.cfg.Slots)], start, end, 0, &f.ops)
+	return f.tails.collect(start, 0, feasible)
+}
+
+// Allocate commits the window [start, end) on the server owning the idle
+// period p — identical semantics to Calendar.Allocate, including the epoch
+// bump on success only.
+func (f *Flat) Allocate(p period.Period, start, end period.Time) error {
+	if f.tm != nil {
+		defer f.tm.observe(f.tm.Update, time.Now())
+	}
+	defer f.attribute(&f.breakdown.Update)()
+	if !p.FeasibleFor(start, end) {
+		return fmt.Errorf("calendar: allocation [%d,%d) does not fit idle period %+v", start, end, p)
+	}
+	if end > f.HorizonEnd() {
+		return fmt.Errorf("calendar: allocation end %d past horizon %d", end, f.HorizonEnd())
+	}
+	if p.Server < 0 || p.Server >= f.cfg.Servers {
+		return fmt.Errorf("calendar: unknown server %d", p.Server)
+	}
+	if p.Unbounded() {
+		cur, ok := f.tails.startOf(p.Server)
+		if !ok || cur != p.Start {
+			return fmt.Errorf("calendar: stale trailing period %+v (current start %d)", p, cur)
+		}
+		if err := f.busy[p.Server].insert(start, end); err != nil {
+			return err
+		}
+		f.insertFinite(period.Period{Server: p.Server, Start: p.Start, End: start})
+		f.tails.update(p.Server, p.Start, end)
+		f.mut++
+		return nil
+	}
+	if err := f.removeFinite(p); err != nil {
+		return err
+	}
+	if err := f.busy[p.Server].insert(start, end); err != nil {
+		// Restore the index before reporting: the busy list is ground truth.
+		f.insertFinite(p)
+		return err
+	}
+	f.insertFinite(period.Period{Server: p.Server, Start: p.Start, End: start})
+	f.insertFinite(period.Period{Server: p.Server, Start: end, End: p.End})
+	f.mut++
+	return nil
+}
+
+// PeriodCovering returns the idle period of the given server that covers
+// the window [start, end), if any (see Calendar.PeriodCovering).
+func (f *Flat) PeriodCovering(server int, start, end period.Time) (period.Period, bool) {
+	if server < 0 || server >= f.cfg.Servers || end <= start {
+		return period.Period{}, false
+	}
+	bl := &f.busy[server]
+	i := sort.Search(len(bl.iv), func(k int) bool { return bl.iv[k].end > start })
+	if i < len(bl.iv) && bl.iv[i].start <= start {
+		return period.Period{}, false // busy at start
+	}
+	gapStart := f.genesis
+	if i > 0 {
+		gapStart = bl.iv[i-1].end
+	}
+	gapEnd := period.Infinity
+	if i < len(bl.iv) {
+		gapEnd = bl.iv[i].start
+	}
+	p := period.Period{Server: server, Start: gapStart, End: gapEnd}
+	if !p.FeasibleFor(start, end) {
+		return period.Period{}, false
+	}
+	return p, true
+}
+
+// Release truncates the reservation [start, end) on server to end at newEnd
+// — identical semantics and epoch behaviour to Calendar.Release.
+func (f *Flat) Release(server int, start, end, newEnd period.Time) error {
+	if f.tm != nil {
+		defer f.tm.observe(f.tm.Update, time.Now())
+	}
+	defer f.attribute(&f.breakdown.Update)()
+	if server < 0 || server >= f.cfg.Servers {
+		return fmt.Errorf("calendar: unknown server %d", server)
+	}
+	if newEnd >= end {
+		return fmt.Errorf("calendar: release end %d not before reservation end %d", newEnd, end)
+	}
+	bl := &f.busy[server]
+
+	// Determine the idle neighborhood around the freed gap before mutating.
+	freedStart := newEnd
+	if newEnd <= start {
+		freedStart = f.prevIdleBoundary(server, start)
+	}
+	if !bl.truncate(start, end, newEnd) {
+		return fmt.Errorf("calendar: no reservation [%d,%d) on server %d", start, end, server)
+	}
+	f.mut++
+
+	// If the cancelled reservation had an idle gap before it, that gap must
+	// be merged: remove its profile copies first.
+	if newEnd <= start && freedStart < start {
+		if err := f.removeFinite(period.Period{Server: server, Start: freedStart, End: start}); err != nil {
+			return err
+		}
+	}
+
+	next, hasNext := f.nextBusyStart(server, end)
+	if !hasNext {
+		// The freed time merges into the trailing idle period.
+		cur, _ := f.tails.startOf(server)
+		if cur != end {
+			return fmt.Errorf("calendar: tail out of sync for server %d: have %d want %d", server, cur, end)
+		}
+		f.tails.update(server, end, freedStart)
+		return nil
+	}
+	if next > end {
+		// There was a finite gap (end, next); merge with it.
+		if err := f.removeFinite(period.Period{Server: server, Start: end, End: next}); err != nil {
+			return err
+		}
+		f.insertFinite(period.Period{Server: server, Start: freedStart, End: next})
+		return nil
+	}
+	// The following reservation starts exactly at end: freed gap stands alone.
+	f.insertFinite(period.Period{Server: server, Start: freedStart, End: end})
+	return nil
+}
+
+// prevIdleBoundary returns the left edge of the idle gap immediately before
+// time t on the server: the end of the previous reservation, or genesis.
+func (f *Flat) prevIdleBoundary(server int, t period.Time) period.Time {
+	bl := &f.busy[server]
+	boundary := f.genesis
+	for i := len(bl.iv) - 1; i >= 0; i-- {
+		if bl.iv[i].end <= t {
+			boundary = bl.iv[i].end
+			break
+		}
+	}
+	return boundary
+}
+
+// nextBusyStart returns the start of the first reservation beginning at or
+// after t on the server.
+func (f *Flat) nextBusyStart(server int, t period.Time) (period.Time, bool) {
+	for _, iv := range f.busy[server].iv {
+		if iv.start >= t {
+			return iv.start, true
+		}
+	}
+	return 0, false
+}
+
+// IdleAt reports whether the server has no commitment at instant t.
+func (f *Flat) IdleAt(server int, t period.Time) bool {
+	return f.busy[server].idleAt(t)
+}
+
+// BusyBetween returns the committed time of one server inside [a, b).
+func (f *Flat) BusyBetween(server int, a, b period.Time) period.Duration {
+	return f.busy[server].busyBetween(a, b)
+}
+
+// Utilization returns the fraction of total capacity committed in [a, b).
+func (f *Flat) Utilization(a, b period.Time) float64 {
+	if b <= a || f.cfg.Servers == 0 {
+		return 0
+	}
+	var busy period.Duration
+	for srv := range f.busy {
+		busy += f.busy[srv].busyBetween(a, b)
+	}
+	return float64(busy) / (float64(b-a) * float64(f.cfg.Servers))
+}
+
+// CheckConsistency rebuilds the expected contents of every active slot from
+// the reservation lists and compares them with the actual profiles, and
+// verifies each profile's sort order.
+func (f *Flat) CheckConsistency() error {
+	for srv := range f.busy {
+		if err := f.busy[srv].check(); err != nil {
+			return err
+		}
+		wantTail := f.genesis
+		if last, ok := f.busy[srv].last(); ok {
+			wantTail = last.end
+		}
+		got, ok := f.tails.startOf(srv)
+		if !ok || got != wantTail {
+			return fmt.Errorf("calendar: server %d tail = %d, want %d", srv, got, wantTail)
+		}
+	}
+	q := int64(f.cfg.Slots)
+	var buf []period.Period
+	for abs := f.base; abs < f.base+q; abs++ {
+		w0 := period.Time(abs * int64(f.cfg.SlotSize))
+		w1 := period.Time((abs + 1) * int64(f.cfg.SlotSize))
+		want := map[period.Period]bool{}
+		for srv := range f.busy {
+			buf = f.busy[srv].gapsOverlapping(f.genesis, w0, w1, srv, buf[:0])
+			for _, g := range buf {
+				want[g] = true
+			}
+		}
+		got := f.slots[abs%q]
+		if len(got) != len(want) {
+			return fmt.Errorf("calendar: slot %d has %d periods, want %d", abs, len(got), len(want))
+		}
+		for k, g := range got {
+			if !want[g] {
+				return fmt.Errorf("calendar: slot %d holds unexpected period %+v", abs, g)
+			}
+			if k > 0 && !flatLess(got[k-1], g) {
+				return fmt.Errorf("calendar: slot %d out of order at %d: %+v before %+v", abs, k, got[k-1], g)
+			}
+		}
+	}
+	return nil
+}
+
+// flatView is the Flat backend's View: the slot profiles and the tail index
+// as of one instant. PublishView copies only the outer ring (slice headers);
+// the profile a view references is frozen because the backend copies a
+// shared profile before its first post-publish mutation. View reads pass a
+// nil ops counter, so they are entirely side-effect free.
+type flatView struct {
+	cfg        Config
+	now        period.Time
+	epoch      uint64
+	base       int64
+	horizonEnd period.Time
+	slots      [][]period.Period // same ring layout as Flat.slots
+	tails      *tailIndex        // cloned, with no operation counter
+}
+
+// PublishView captures the backend's current searchable state as an
+// immutable View and marks every live slot profile shared, so later
+// mutations copy before writing. Cost: O(Slots) slice headers plus
+// O(Servers) tail entries; no profile is copied until one is mutated.
+func (f *Flat) PublishView() View {
+	v := &flatView{
+		cfg:        f.cfg,
+		now:        f.now,
+		epoch:      f.mut,
+		base:       f.base,
+		horizonEnd: f.HorizonEnd(),
+		slots:      append([][]period.Period(nil), f.slots...),
+		tails:      f.tails.cloneRO(),
+	}
+	for i := range f.shared {
+		f.shared[i] = true
+	}
+	return v
+}
+
+// Now returns the instant the view was published at.
+func (v *flatView) Now() period.Time { return v.now }
+
+// Epoch returns the backend's mutation epoch at publication.
+func (v *flatView) Epoch() uint64 { return v.epoch }
+
+// HorizonEnd returns the right edge of the view's active window.
+func (v *flatView) HorizonEnd() period.Time { return v.horizonEnd }
+
+// RangeSearch returns every idle period feasible for [start, end) as of the
+// view's publication instant.
+func (v *flatView) RangeSearch(start, end period.Time) []period.Period {
+	if end <= start {
+		return nil
+	}
+	q := int64(start) / int64(v.cfg.SlotSize)
+	if q < v.base || q >= v.base+int64(v.cfg.Slots) || end > v.horizonEnd {
+		return nil
+	}
+	feasible, _ := flatSearch(v.slots[q%int64(v.cfg.Slots)], start, end, 0, nil)
+	return v.tails.collect(start, 0, feasible)
+}
+
+// Available reports how many servers could be co-allocated over [start, end)
+// as of the view's publication instant.
+func (v *flatView) Available(start, end period.Time) int {
+	return len(v.RangeSearch(start, end))
+}
+
+// SnapshotData captures the backend's persistent state in the
+// backend-neutral form shared with Calendar: ground truth only, indexes
+// rebuilt on restore.
+func (f *Flat) SnapshotData() SnapshotData {
+	return makeSnapshotData(f.cfg, f.now, f.genesis, f.busy, f.ops)
+}
+
+// Snapshot serializes the backend so it can be restored after a restart.
+func (f *Flat) Snapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(f.SnapshotData())
+}
+
+// FlatFromSnapshotData rebuilds a flat backend (including every slot profile
+// and the tail index) from captured state.
+func FlatFromSnapshotData(s SnapshotData) (*Flat, error) {
+	busy, err := restoreGround(s)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flat{
+		cfg:     s.Config,
+		ops:     s.Ops,
+		now:     s.Now,
+		genesis: s.Genesis,
+		base:    int64(s.Now) / int64(s.Config.SlotSize),
+		slots:   make([][]period.Period, s.Config.Slots),
+		shared:  make([]bool, s.Config.Slots),
+		busy:    busy,
+	}
+	f.tails = newTailIndex(s.Config.Servers, s.Genesis, &f.ops)
+	for srv := range f.busy {
+		if last, ok := f.busy[srv].last(); ok {
+			f.tails.update(srv, s.Genesis, last.end)
+		}
+	}
+	q := int64(s.Config.Slots)
+	for abs := f.base; abs < f.base+q; abs++ {
+		f.fillSlot(abs)
+	}
+	// Index rebuilding above counts into f.ops; restoring a snapshot must
+	// not inflate the workload metric, so reinstate the captured value.
+	f.ops = s.Ops
+	return f, nil
+}

@@ -1,0 +1,162 @@
+package calendar
+
+// Release edge cases that the main suite's randomized walks rarely hit:
+// a truncation that doesn't shrink (must be a rejected no-op), releases of
+// reservations partially behind a rotated base slot, a freed gap that stands
+// alone because the next hold starts exactly at the freed end, and a release
+// of a hold pinned against the horizon tail. All run against every backend.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReleaseSameEndIsRejectedNoOp: newEnd == end does not shrink the
+// reservation; the call must fail without touching state, epoch, or the
+// snapshot bytes (a silent partial mutation here would desync WAL replay).
+func TestReleaseSameEndIsRejectedNoOp(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 20}, 0)
+		f, _ := c.FindFeasible(100, 500, 1)
+		if err := c.Allocate(f[0], 100, 500); err != nil {
+			t.Fatal(err)
+		}
+		srv := f[0].Server
+		epoch := c.MutationEpoch()
+		var before bytes.Buffer
+		if err := c.Snapshot(&before); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(srv, 100, 500, 500); err == nil {
+			t.Fatal("release to the same end accepted")
+		}
+		if err := c.Release(srv, 100, 500, 600); err == nil {
+			t.Fatal("release that grows the reservation accepted")
+		}
+		if got := c.MutationEpoch(); got != epoch {
+			t.Fatalf("rejected release moved the epoch: %d -> %d", epoch, got)
+		}
+		var after bytes.Buffer
+		if err := c.Snapshot(&after); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before.Bytes(), after.Bytes()) {
+			t.Fatal("rejected release changed snapshot state")
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestReleaseAcrossSlotRotation: after the base slot has rotated past the
+// start of a reservation, truncating it must still merge the freed time
+// correctly even though the freed gap begins behind the active window.
+func TestReleaseAcrossSlotRotation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 10}, 0)
+		f, _ := c.FindFeasible(100, 300, 1)
+		if err := c.Allocate(f[0], 100, 300); err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(250) // base slot is now 2: the reservation started behind the window
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		// Truncate to end at 150 — entirely behind the window start (200).
+		if err := c.Release(0, 100, 300, 150); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatalf("after release behind the window: %v", err)
+		}
+		got := c.RangeSearch(250, 600)
+		if len(got) != 1 || got[0].Start != 150 || !got[0].Unbounded() {
+			t.Fatalf("tail after rotated release = %v, want (150, inf)", got)
+		}
+
+		// Cancel a reservation whose preceding idle gap also lies partially
+		// behind the window: [400,500) with gap (150,400) before it.
+		f, _ = c.FindFeasible(400, 500, 1)
+		if err := c.Allocate(f[0], 400, 500); err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(350)                                      // base slot 3: the gap before [400,500) starts at 150, behind base
+		if err := c.Release(0, 400, 500, 300); err != nil { // newEnd <= start: full cancel
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatalf("after cancelling across rotation: %v", err)
+		}
+		got = c.RangeSearch(360, 900)
+		if len(got) != 1 || got[0].Start != 150 || !got[0].Unbounded() {
+			t.Fatalf("tail after rotated cancel = %v, want (150, inf)", got)
+		}
+	})
+}
+
+// TestReleaseFreedGapStandsAlone: when the next reservation starts exactly
+// at the released end, the freed gap merges with nothing.
+func TestReleaseFreedGapStandsAlone(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 1, SlotSize: 100, Slots: 20}, 0)
+		f, _ := c.FindFeasible(100, 200, 1)
+		if err := c.Allocate(f[0], 100, 200); err != nil {
+			t.Fatal(err)
+		}
+		// Back-to-back second reservation [200, 300).
+		p, ok := c.PeriodCovering(0, 200, 300)
+		if !ok {
+			t.Fatal("no covering period for the adjacent window")
+		}
+		if err := c.Allocate(p, 200, 300); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(0, 100, 200, 150); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		f, _ = c.FindFeasible(150, 200, 1)
+		if len(f) != 1 || f[0].Start != 150 || f[0].End != 200 {
+			t.Fatalf("standalone freed gap = %v, want (150, 200)", f)
+		}
+	})
+}
+
+// TestReleaseAtHorizonTail: a hold pinned against the horizon's right edge
+// releases cleanly into the trailing idle period.
+func TestReleaseAtHorizonTail(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backendCase) {
+		c := b.mustNew(t, Config{Servers: 2, SlotSize: 100, Slots: 10}, 0)
+		h := c.HorizonEnd()
+		f, _ := c.FindFeasible(h-200, h, 1)
+		if len(f) == 0 {
+			t.Fatal("no feasible period at the horizon tail")
+		}
+		srv := f[0].Server
+		if err := c.Allocate(f[0], h-200, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release(srv, h-200, h, h-100); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		if !c.IdleAt(srv, h-50) {
+			t.Fatal("released horizon tail still busy")
+		}
+		got := c.RangeSearch(h-100, h)
+		found := false
+		for _, p := range got {
+			if p.Server == srv && p.Start == h-100 && p.Unbounded() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tail after horizon release = %v, want (%d, inf) on server %d", got, h-100, srv)
+		}
+	})
+}

@@ -31,24 +31,56 @@ type SnapshotData struct {
 	Ops     uint64
 }
 
-// SnapshotData captures the calendar's persistent state.
-func (c *Calendar) SnapshotData() SnapshotData {
+// makeSnapshotData captures backend ground truth in the neutral form every
+// backend shares; both Calendar and Flat build their snapshots through it.
+func makeSnapshotData(cfg Config, now, genesis period.Time, busy []busyList, ops uint64) SnapshotData {
 	s := SnapshotData{
 		Version: snapshotVersion,
-		Config:  c.cfg,
-		Now:     c.now,
-		Genesis: c.genesis,
-		Busy:    make([][]SnapInterval, len(c.busy)),
-		Ops:     c.ops,
+		Config:  cfg,
+		Now:     now,
+		Genesis: genesis,
+		Busy:    make([][]SnapInterval, len(busy)),
+		Ops:     ops,
 	}
-	for i := range c.busy {
-		ivs := make([]SnapInterval, len(c.busy[i].iv))
-		for j, iv := range c.busy[i].iv {
+	for i := range busy {
+		ivs := make([]SnapInterval, len(busy[i].iv))
+		for j, iv := range busy[i].iv {
 			ivs[j] = SnapInterval{Start: iv.start, End: iv.end}
 		}
 		s.Busy[i] = ivs
 	}
 	return s
+}
+
+// restoreGround validates a snapshot and rebuilds the per-server reservation
+// lists — the ground truth every backend restores its indexes from.
+func restoreGround(s SnapshotData) ([]busyList, error) {
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("calendar: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if err := s.Config.validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Busy) != s.Config.Servers {
+		return nil, fmt.Errorf("calendar: snapshot has %d busy lists for %d servers", len(s.Busy), s.Config.Servers)
+	}
+	busy := make([]busyList, s.Config.Servers)
+	for i, ivs := range s.Busy {
+		list := make([]interval, len(ivs))
+		for j, iv := range ivs {
+			list[j] = interval{start: iv.Start, end: iv.End}
+		}
+		busy[i].iv = list
+		if err := busy[i].check(); err != nil {
+			return nil, fmt.Errorf("calendar: restore server %d: %w", i, err)
+		}
+	}
+	return busy, nil
+}
+
+// SnapshotData captures the calendar's persistent state.
+func (c *Calendar) SnapshotData() SnapshotData {
+	return makeSnapshotData(c.cfg, c.now, c.genesis, c.busy, c.ops)
 }
 
 // Snapshot serializes the calendar so it can be restored after a restart.
@@ -68,14 +100,9 @@ func Restore(r io.Reader) (*Calendar, error) {
 // FromSnapshotData rebuilds a calendar (including every slot tree and the
 // tail index) from captured state.
 func FromSnapshotData(s SnapshotData) (*Calendar, error) {
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("calendar: snapshot version %d, want %d", s.Version, snapshotVersion)
-	}
-	if err := s.Config.validate(); err != nil {
+	busy, err := restoreGround(s)
+	if err != nil {
 		return nil, err
-	}
-	if len(s.Busy) != s.Config.Servers {
-		return nil, fmt.Errorf("calendar: snapshot has %d busy lists for %d servers", len(s.Busy), s.Config.Servers)
 	}
 	c := &Calendar{
 		cfg:     s.Config,
@@ -85,17 +112,7 @@ func FromSnapshotData(s SnapshotData) (*Calendar, error) {
 		base:    int64(s.Now) / int64(s.Config.SlotSize),
 		slots:   make([]*dtree.Tree, s.Config.Slots),
 		shared:  make([]bool, s.Config.Slots),
-		busy:    make([]busyList, s.Config.Servers),
-	}
-	for i, ivs := range s.Busy {
-		list := make([]interval, len(ivs))
-		for j, iv := range ivs {
-			list[j] = interval{start: iv.Start, end: iv.End}
-		}
-		c.busy[i].iv = list
-		if err := c.busy[i].check(); err != nil {
-			return nil, fmt.Errorf("calendar: restore server %d: %w", i, err)
-		}
+		busy:    busy,
 	}
 	// Rebuild the indexes: tails from the last reservation of each server,
 	// slot trees from the reservation-gap structure.

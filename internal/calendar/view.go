@@ -5,22 +5,19 @@ import (
 	"coalloc/internal/period"
 )
 
-// View is an immutable snapshot of a calendar's searchable state: the slot
-// trees and the tail index as of one instant. Any number of goroutines may
-// search a View concurrently, with no locking, while the owning calendar
-// keeps mutating — the copy-on-write contract below guarantees the View
-// never observes those mutations.
+// treeView is the dtree backend's View: the slot trees and the tail index as
+// of one instant.
 //
 // Copy-on-write contract. PublishView copies the slot-tree pointer ring and
 // marks every referenced tree as shared; the calendar clones a shared tree
-// (dtree.Clone) before its first post-publish mutation, so the tree a View
-// references is frozen the moment the View exists. The tail index is copied
+// (dtree.Clone) before its first post-publish mutation, so the tree a view
+// references is frozen the moment the view exists. The tail index is copied
 // outright (it is a flat slice, cheaper to copy than to track). View
 // searches use the side-effect-free dtree read path (SearchRO), which
-// touches no operation counter, timing histogram, or node pool — a View
+// touches no operation counter, timing histogram, or node pool — a view
 // therefore contributes nothing to the Fig. 7(b) operation metric, exactly
 // like any other read replica.
-type View struct {
+type treeView struct {
 	cfg        Config
 	now        period.Time
 	epoch      uint64 // Calendar.MutationEpoch at publication
@@ -34,8 +31,8 @@ type View struct {
 // immutable View and marks every live slot tree shared, so later mutations
 // clone before writing. Cost: O(Slots) pointer copies plus O(Servers) tail
 // entries; no tree is cloned until one is actually mutated.
-func (c *Calendar) PublishView() *View {
-	v := &View{
+func (c *Calendar) PublishView() View {
+	v := &treeView{
 		cfg:        c.cfg,
 		now:        c.now,
 		epoch:      c.mut,
@@ -51,19 +48,19 @@ func (c *Calendar) PublishView() *View {
 }
 
 // Now returns the instant the view was published at.
-func (v *View) Now() period.Time { return v.now }
+func (v *treeView) Now() period.Time { return v.now }
 
 // Epoch returns the calendar's mutation epoch at publication. Two views with
 // equal epochs answer every availability question identically.
-func (v *View) Epoch() uint64 { return v.epoch }
+func (v *treeView) Epoch() uint64 { return v.epoch }
 
 // HorizonEnd returns the right edge of the view's active window.
-func (v *View) HorizonEnd() period.Time { return v.horizonEnd }
+func (v *treeView) HorizonEnd() period.Time { return v.horizonEnd }
 
 // RangeSearch returns every idle period feasible for [start, end) as of the
 // view's publication instant — the concurrent read-path twin of
 // Calendar.RangeSearch, byte-for-byte the same result set.
-func (v *View) RangeSearch(start, end period.Time) []period.Period {
+func (v *treeView) RangeSearch(start, end period.Time) []period.Period {
 	if end <= start {
 		return nil
 	}
@@ -77,6 +74,6 @@ func (v *View) RangeSearch(start, end period.Time) []period.Period {
 
 // Available reports how many servers could be co-allocated over [start, end)
 // as of the view's publication instant.
-func (v *View) Available(start, end period.Time) int {
+func (v *treeView) Available(start, end period.Time) int {
 	return len(v.RangeSearch(start, end))
 }

@@ -36,6 +36,10 @@ type Config struct {
 	MaxAttempts int
 	// Policy selects among feasible idle periods. Defaults to PaperOrder.
 	Policy SelectionPolicy
+	// Backend names the availability backend holding the slot calendar:
+	// "dtree" (the paper's 2-D tree) or "flat" (contiguous slot profiles);
+	// see calendar.Backends. Empty selects calendar.DefaultBackend.
+	Backend string
 	// Observer, if non-nil, receives lifecycle callbacks (see Observer).
 	// With no observer every hook reduces to a nil check.
 	Observer Observer
@@ -53,6 +57,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Policy == nil {
 		c.Policy = PaperOrder{}
+	}
+	if c.Backend == "" {
+		c.Backend = calendar.DefaultBackend
 	}
 }
 
@@ -101,7 +108,7 @@ type Stats struct {
 // concurrent use; wrap it (as internal/grid does) to serialize access.
 type Scheduler struct {
 	cfg   Config
-	cal   *calendar.Calendar
+	cal   calendar.AvailabilityBackend
 	stats Stats
 	obs   Observer // copy of cfg.Observer; nil disables all hooks
 }
@@ -109,7 +116,7 @@ type Scheduler struct {
 // New creates a scheduler whose clock starts at now with all servers idle.
 func New(cfg Config, now period.Time) (*Scheduler, error) {
 	cfg.applyDefaults()
-	cal, err := calendar.New(calendar.Config{
+	cal, err := calendar.NewBackend(cfg.Backend, calendar.Config{
 		Servers:  cfg.Servers,
 		SlotSize: cfg.SlotSize,
 		Slots:    cfg.Slots,
@@ -303,7 +310,7 @@ func (s *Scheduler) Available(start, end period.Time) int {
 // copy-on-write contract. The scheduler itself stays single-threaded — the
 // caller (a grid site) publishes a view after each serialized mutation batch
 // and serves probes and range searches from it.
-func (s *Scheduler) PublishView() *calendar.View { return s.cal.PublishView() }
+func (s *Scheduler) PublishView() calendar.View { return s.cal.PublishView() }
 
 // SuggestAlternatives probes up to MaxAttempts candidate start times spaced
 // Δt apart, beginning at the request's start, and returns up to k start

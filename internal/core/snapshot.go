@@ -18,6 +18,7 @@ type schedSnapshot struct {
 	DeltaT      period.Duration
 	MaxAttempts int
 	PolicyName  string
+	Backend     string // availability backend name; "" (old snapshots) = dtree
 	Stats       Stats
 	Calendar    calendar.SnapshotData
 }
@@ -34,6 +35,7 @@ func (s *Scheduler) Snapshot(w io.Writer) error {
 		DeltaT:      s.cfg.DeltaT,
 		MaxAttempts: s.cfg.MaxAttempts,
 		PolicyName:  s.cfg.Policy.Name(),
+		Backend:     s.cfg.Backend,
 		Stats:       s.stats,
 		Calendar:    s.cal.SnapshotData(),
 	}
@@ -53,9 +55,15 @@ func Restore(r io.Reader) (*Scheduler, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("core: restore: unknown policy %q", hdr.PolicyName)
 	}
-	cal, err := calendar.FromSnapshotData(hdr.Calendar)
+	// Old snapshots predate backend selection and decode Backend as "",
+	// which BackendFromSnapshot maps to the dtree default.
+	cal, err := calendar.BackendFromSnapshot(hdr.Backend, hdr.Calendar)
 	if err != nil {
 		return nil, err
+	}
+	backend := hdr.Backend
+	if backend == "" {
+		backend = calendar.DefaultBackend
 	}
 	cfg := Config{
 		Servers:     hdr.Servers,
@@ -64,6 +72,7 @@ func Restore(r io.Reader) (*Scheduler, error) {
 		DeltaT:      hdr.DeltaT,
 		MaxAttempts: hdr.MaxAttempts,
 		Policy:      policy,
+		Backend:     backend,
 	}
 	if got := cal.Config(); got.Servers != cfg.Servers || got.SlotSize != cfg.SlotSize || got.Slots != cfg.Slots {
 		return nil, fmt.Errorf("core: restore: calendar config %+v does not match scheduler header", got)

@@ -12,8 +12,10 @@ import (
 
 // crashRun executes the seeded workload against a WAL whose writes die after
 // `budget` bytes, then recovers from the directory and returns the recovered
-// snapshot plus the recorder (for shadow construction).
-func crashRun(t *testing.T, seed int64, steps int, budget int64) (recovered []byte, rw *recordingWAL, durableRecords int) {
+// snapshot plus the recorder (for shadow construction). The site, its
+// recovery, and any shadow the caller builds must all use the same `fresh`
+// constructor — the sweep runs once per availability backend.
+func crashRun(t *testing.T, seed int64, steps int, budget int64, fresh func() (*Site, error)) (recovered []byte, rw *recordingWAL, durableRecords int) {
 	t.Helper()
 	dir := t.TempDir()
 	opt := wal.Options{SegmentSize: 1024, Sync: wal.SyncAlways}
@@ -26,7 +28,7 @@ func crashRun(t *testing.T, seed int64, steps int, budget int64) (recovered []by
 	wlog, _, err := wal.Open(dir, opt)
 	switch {
 	case err == nil:
-		site, err := freshCrashSite()
+		site, err := fresh()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +48,7 @@ func crashRun(t *testing.T, seed int64, steps int, budget int64) (recovered []by
 		t.Fatalf("reopen: %v", err)
 	}
 	defer relog.Close()
-	restored, replayed, err := RecoverSite(rec.Checkpoint, rec.Records, freshCrashSite)
+	restored, replayed, err := RecoverSite(rec.Checkpoint, rec.Records, fresh)
 	if err != nil {
 		t.Fatalf("recover (ckpt=%v, %d records): %v", rec.Checkpoint != nil, len(rec.Records), err)
 	}
@@ -59,72 +61,80 @@ func crashRun(t *testing.T, seed int64, steps int, budget int64) (recovered []by
 // recovery (checkpoint + replay + torn-tail truncation) must yield a site
 // byte-identical to a shadow built from the acknowledged record prefix —
 // optionally plus the single in-flight record the crash may have landed
-// after (durable but unacknowledged).
+// after (durable but unacknowledged). The whole sweep runs once per
+// availability backend: replay determinism is a contract every backend must
+// honor, not a dtree implementation detail.
 func TestCrashRecoveryKillPoints(t *testing.T) {
-	const (
-		seed  = 42
-		steps = 80
-	)
-	// Baseline: unlimited budget to learn the total bytes written.
-	baseInj := wal.NewInjector(math.MaxInt64)
-	dir := t.TempDir()
-	wlog, _, err := wal.Open(dir, wal.Options{SegmentSize: 1024, Sync: wal.SyncAlways, Injector: baseInj})
-	if err != nil {
-		t.Fatal(err)
-	}
-	site, err := freshCrashSite()
-	if err != nil {
-		t.Fatal(err)
-	}
-	rw := &recordingWAL{log: wlog}
-	site.AttachWAL(rw)
-	runCrashWorkload(site, rw, baseInj, seed, steps)
-	live := snapshotBytes(t, site)
-	wlog.Close()
-	total := baseInj.Written()
-	if total == 0 || len(rw.acked) == 0 {
-		t.Fatalf("degenerate baseline: %d bytes, %d records", total, len(rw.acked))
-	}
-	// Sanity: with no crash, the shadow replay reproduces the live site.
-	if got := snapshotBytes(t, buildShadow(t, rw.acked)); !bytes.Equal(got, live) {
-		t.Fatalf("shadow replay diverges from live site with no crash (%d records)", len(rw.acked))
-	}
-
-	step := total / 150
-	if step < 1 {
-		step = 1
-	}
-	points := 0
-	for budget := int64(1); budget <= total; budget += step {
-		recovered, run, nrec := crashRun(t, seed, steps, budget)
-		shadowAcked := snapshotBytes(t, buildShadow(t, run.acked))
-		if bytes.Equal(recovered, shadowAcked) {
-			points++
-			continue
+	forEachBackend(t, func(t *testing.T, backend string) {
+		const (
+			seed  = 42
+			steps = 80
+		)
+		fresh := freshCrashSiteOn(backend)
+		// Baseline: unlimited budget to learn the total bytes written.
+		baseInj := wal.NewInjector(math.MaxInt64)
+		dir := t.TempDir()
+		wlog, _, err := wal.Open(dir, wal.Options{SegmentSize: 1024, Sync: wal.SyncAlways, Injector: baseInj})
+		if err != nil {
+			t.Fatal(err)
 		}
-		if run.pending != nil {
-			withPending := append(append([][]byte{}, run.acked...), run.pending)
-			if bytes.Equal(recovered, snapshotBytes(t, buildShadow(t, withPending))) {
+		site, err := fresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw := &recordingWAL{log: wlog}
+		site.AttachWAL(rw)
+		runCrashWorkload(site, rw, baseInj, seed, steps)
+		live := snapshotBytes(t, site)
+		wlog.Close()
+		total := baseInj.Written()
+		if total == 0 || len(rw.acked) == 0 {
+			t.Fatalf("degenerate baseline: %d bytes, %d records", total, len(rw.acked))
+		}
+		// Sanity: with no crash, the shadow replay reproduces the live site.
+		if got := snapshotBytes(t, buildShadow(t, rw.acked, fresh)); !bytes.Equal(got, live) {
+			t.Fatalf("shadow replay diverges from live site with no crash (%d records)", len(rw.acked))
+		}
+
+		step := total / 150
+		if step < 1 {
+			step = 1
+		}
+		points := 0
+		for budget := int64(1); budget <= total; budget += step {
+			recovered, run, nrec := crashRun(t, seed, steps, budget, fresh)
+			shadowAcked := snapshotBytes(t, buildShadow(t, run.acked, fresh))
+			if bytes.Equal(recovered, shadowAcked) {
 				points++
 				continue
 			}
+			if run.pending != nil {
+				withPending := append(append([][]byte{}, run.acked...), run.pending)
+				if bytes.Equal(recovered, snapshotBytes(t, buildShadow(t, withPending, fresh))) {
+					points++
+					continue
+				}
+			}
+			t.Fatalf("kill point at byte %d of %d: recovered state (%d durable records) matches neither the %d acknowledged records nor acknowledged+pending",
+				budget, total, nrec, len(run.acked))
 		}
-		t.Fatalf("kill point at byte %d of %d: recovered state (%d durable records) matches neither the %d acknowledged records nor acknowledged+pending",
-			budget, total, nrec, len(run.acked))
-	}
-	t.Logf("verified %d kill points over %d journal bytes (%d records)", points, total, len(rw.acked))
+		t.Logf("verified %d kill points over %d journal bytes (%d records)", points, total, len(rw.acked))
+	})
 }
 
 // TestCrashRecoveryNoCrash closes the loop with an unbounded budget: a clean
-// run recovers to exactly the live state.
+// run recovers to exactly the live state, on every backend.
 func TestCrashRecoveryNoCrash(t *testing.T) {
-	recovered, run, _ := crashRun(t, 7, 60, -1)
-	if got := snapshotBytes(t, buildShadow(t, run.acked)); !bytes.Equal(recovered, got) {
-		t.Fatalf("clean-run recovery diverges from shadow (%d records)", len(run.acked))
-	}
-	if run.pending != nil {
-		t.Fatalf("clean run left a pending record")
-	}
+	forEachBackend(t, func(t *testing.T, backend string) {
+		fresh := freshCrashSiteOn(backend)
+		recovered, run, _ := crashRun(t, 7, 60, -1, fresh)
+		if got := snapshotBytes(t, buildShadow(t, run.acked, fresh)); !bytes.Equal(recovered, got) {
+			t.Fatalf("clean-run recovery diverges from shadow (%d records)", len(run.acked))
+		}
+		if run.pending != nil {
+			t.Fatalf("clean run left a pending record")
+		}
+	})
 }
 
 func TestOpEncodeDecodeRoundTrip(t *testing.T) {

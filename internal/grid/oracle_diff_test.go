@@ -80,7 +80,14 @@ func diffSetsEqual(got map[int]bool, want []int) bool {
 	return true
 }
 
+// The full 10k-step stream runs once per availability backend: the cache,
+// 2PC, and lease machinery above the backend must behave identically no
+// matter which index answers the searches.
 func TestDifferentialOracleCachedBroker(t *testing.T) {
+	forEachBackend(t, testDifferentialOracleCachedBroker)
+}
+
+func testDifferentialOracleCachedBroker(t *testing.T, backend string) {
 	const (
 		nSites  = 3
 		servers = 8
@@ -98,7 +105,7 @@ func TestDifferentialOracleCachedBroker(t *testing.T) {
 	var flaky *chaosConn
 	for i := range sites {
 		name := fmt.Sprintf("s%d", i)
-		sites[i] = mustSite(t, name, servers)
+		sites[i] = mustSiteBackend(t, name, servers, backend)
 		conns[i] = LocalConn{Site: sites[i]}
 		if i == nSites-1 {
 			// The last site's commits can be made to fail on demand,

@@ -82,7 +82,7 @@ type pendingWrite struct {
 // protocol counters as of the end of a mutation batch. Immutable once
 // published.
 type siteView struct {
-	cal *calendar.View
+	cal calendar.View
 	// epoch identifies the availability state this view answers for:
 	// epochSalt + the calendar's mutation epoch. Two views with equal
 	// epochs answer every probe and range search identically, so a broker

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"coalloc/internal/calendar"
 	"coalloc/internal/core"
 	"coalloc/internal/period"
 	"coalloc/internal/wal"
@@ -32,9 +33,37 @@ func siteConfig(n int) core.Config {
 	}
 }
 
+// siteConfigBackend is siteConfig with an explicit availability backend, for
+// the backend-parametrized suites.
+func siteConfigBackend(n int, backend string) core.Config {
+	cfg := siteConfig(n)
+	cfg.Backend = backend
+	return cfg
+}
+
+// forEachBackend runs fn once per registered availability backend as a named
+// subtest — the grid half of the backend test matrix (internal/calendar has
+// its own for the single-process suites). The distributed differential and
+// crash sweeps run through it so every backend proves the same end-to-end
+// guarantees the dtree does.
+func forEachBackend(t *testing.T, fn func(t *testing.T, backend string)) {
+	for _, name := range calendar.Backends() {
+		t.Run(name, func(t *testing.T) { fn(t, name) })
+	}
+}
+
 func mustSite(t *testing.T, name string, n int) *Site {
 	t.Helper()
 	s, err := NewSite(name, siteConfig(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustSiteBackend(t *testing.T, name string, n int, backend string) *Site {
+	t.Helper()
+	s, err := NewSite(name, siteConfigBackend(n, backend), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,8 +287,17 @@ func (f *failingWAL) Checkpoint([]byte) error { return errors.New("disk on fire"
 
 const crashSiteServers = 8
 
+// freshCrashSiteOn returns a constructor for the crash-sweep site pinned to
+// one availability backend; crashRun, recovery, and the shadow replay must
+// all build from the same constructor or the snapshot bytes can never match.
+func freshCrashSiteOn(backend string) func() (*Site, error) {
+	return func() (*Site, error) {
+		return NewSite("crash", siteConfigBackend(crashSiteServers, backend), 0)
+	}
+}
+
 func freshCrashSite() (*Site, error) {
-	return NewSite("crash", siteConfig(crashSiteServers), 0)
+	return freshCrashSiteOn("")()
 }
 
 func mustFresh(t *testing.T) *Site {
@@ -280,11 +318,11 @@ func snapshotBytes(t *testing.T, s *Site) []byte {
 	return buf.Bytes()
 }
 
-// buildShadow replays the given journal payloads onto a fresh site — the
-// oracle a recovered site must match byte for byte.
-func buildShadow(t *testing.T, payloads [][]byte) *Site {
+// buildShadow replays the given journal payloads onto a fresh site from the
+// given constructor — the oracle a recovered site must match byte for byte.
+func buildShadow(t *testing.T, payloads [][]byte, fresh func() (*Site, error)) *Site {
 	t.Helper()
-	s, err := freshCrashSite()
+	s, err := fresh()
 	if err != nil {
 		t.Fatal(err)
 	}
